@@ -1,0 +1,480 @@
+// Benchmarks: one per table/figure of the paper's evaluation (see the
+// per-experiment index in DESIGN.md) plus micro-benchmarks of the hot
+// kernels. Experiment benches report the headline metric of the artifact
+// they regenerate (avgSavings%/maxSavings% etc.) via b.ReportMetric, so
+// `go test -bench=.` reproduces the evaluation end to end.
+package qosrma
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/cache"
+	"qosrma/internal/core"
+	"qosrma/internal/experiments"
+	"qosrma/internal/simdb"
+	"qosrma/internal/stats"
+	"qosrma/internal/trace"
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.SharedEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// paperISchemes are the schemes compared in Paper I's headline figures.
+func paperISchemes() []core.Scheme {
+	return []core.Scheme{
+		core.SchemeDVFSOnly,
+		core.SchemePartitionOnly,
+		core.SchemeCoordDVFSCache,
+	}
+}
+
+// BenchmarkP1EnergySavings4Core regenerates P1.F4: per-workload energy
+// savings of DVFS-only / RM1 / RM2 on the twenty 4-core mixes (paper: RM2
+// up to 18%, average 6%; RM1 average 1%).
+func BenchmarkP1EnergySavings4Core(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.RunEnergySavings(env.DB4, env.Mixes4, paperISchemes(), core.Model2, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rm2 := exp.Schemes[2]
+		b.ReportMetric(rm2.Avg()*100, "avgSavings%")
+		b.ReportMetric(rm2.Max()*100, "maxSavings%")
+	}
+}
+
+// BenchmarkP1EnergySavings8Core regenerates P1.F8 (paper: RM2 up to 14%,
+// average 6%; RM1 average 2%).
+func BenchmarkP1EnergySavings8Core(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.RunEnergySavings(env.DB8, env.Mixes8, paperISchemes(), core.Model2, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rm2 := exp.Schemes[2]
+		b.ReportMetric(rm2.Avg()*100, "avgSavings%")
+		b.ReportMetric(rm2.Max()*100, "maxSavings%")
+	}
+}
+
+// BenchmarkP1PerfectModels regenerates P1.PM: RM2 with oracle statistics
+// (paper: average 8% savings, close to the realistic result).
+func BenchmarkP1PerfectModels(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunPerfectVsRealistic(env.DB4, env.Mixes4,
+			core.SchemeCoordDVFSCache, core.Model2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.Perfect.Avg()*100, "perfectAvg%")
+		b.ReportMetric(cmp.Realistic.Avg()*100, "realisticAvg%")
+	}
+}
+
+// BenchmarkP1QoSViolations regenerates P1.QV: the per-application QoS
+// violation census under realistic models (paper: 13/80 apps, average 3%,
+// max 9%).
+func BenchmarkP1QoSViolations(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		exp, err := experiments.RunEnergySavings(env.DB4, env.Mixes4,
+			[]core.Scheme{core.SchemeCoordDVFSCache}, core.Model2, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := experiments.QoSOf(exp.Schemes[0].Results)
+		b.ReportMetric(float64(q.Violations), "violations")
+		b.ReportMetric(q.AvgPct, "avgViol%")
+		b.ReportMetric(q.MaxPct, "maxViol%")
+	}
+}
+
+// BenchmarkP1Relaxation regenerates P1.RX: savings versus QoS slack with
+// perfect models (paper: up to 29% and on average 17% at ~40% slack).
+func BenchmarkP1Relaxation(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunRelaxationSweep(env.DB4, env.Mixes4,
+			core.SchemeCoordDVFSCache, []float64{0, 0.2, 0.4, 0.6, 0.8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		at40 := points[2]
+		b.ReportMetric(at40.Avg*100, "avg@40%")
+		b.ReportMetric(at40.Max*100, "max@40%")
+	}
+}
+
+// BenchmarkP1SubsetRelaxation regenerates P1.SUB: slack granted only to a
+// subset of the workload.
+func BenchmarkP1SubsetRelaxation(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunSubsetRelaxation(env.DB4, env.Mixes4[4], 0.4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Savings*100, "allRelaxed%")
+	}
+}
+
+// BenchmarkP1BaselineVF regenerates P1.VF: sensitivity of the savings to
+// the baseline VF choice.
+func BenchmarkP1BaselineVF(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunBaselineVFSensitivity(env.DB4, env.Mixes4,
+			[]float64{1.6, 2.0, 2.4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].Avg*100, "avg@1.6GHz%")
+		b.ReportMetric(points[2].Avg*100, "avg@2.4GHz%")
+	}
+}
+
+// BenchmarkP1RMAOverhead regenerates P1.OV: the steady-state cost of one
+// RM2 invocation on four cores (paper: <40K instructions, ~0.04% of a
+// 100M-instruction interval).
+func BenchmarkP1RMAOverhead(b *testing.B) {
+	env := benchEnv(b)
+	probe, err := experiments.NewOverheadProbe(env.DB4, core.SchemeCoordDVFSCache, core.Model2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe.Invoke()
+	}
+}
+
+// BenchmarkP2Scenarios regenerates P2.SC: the 16-category-mix systematic
+// analysis (paper: RM3 substantially improves savings in 12 of 16 mixes).
+func BenchmarkP2Scenarios(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		an, err := experiments.RunScenarioAnalysis(env.DB4, env.MixesII, core.Model3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		improved := 0
+		for _, o := range an.Outcomes {
+			if o.RM3 >= 0.025 {
+				improved++
+			}
+		}
+		b.ReportMetric(float64(improved), "rm3EffectiveMixes")
+	}
+}
+
+// BenchmarkP2RM123 regenerates P2.S1-S4: RM2 versus RM3 per scenario
+// (paper: Scenario 1 RM3 average 14%, max 17.6%, up to 60% above RM2).
+func BenchmarkP2RM123(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		an, err := experiments.RunScenarioAnalysis(env.DB4, env.MixesII, core.Model3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := an.Stats()
+		b.ReportMetric(st[0].RM3Avg*100, "s1RM3avg%")
+		b.ReportMetric(st[0].RM2Avg*100, "s1RM2avg%")
+	}
+}
+
+// BenchmarkP2Models regenerates P2.MD: Model 1/2/3 under RM3 (paper:
+// Model 3 violation probability 3%, 32%/46% below Models 2/1).
+func BenchmarkP2Models(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunModelComparison(env.DB4, env.Mixes4,
+			core.SchemeCoordCoreDVFSCache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].ViolationProb*100, "m3ViolProb%")
+		b.ReportMetric(rows[1].ViolationProb*100, "m2ViolProb%")
+		b.ReportMetric(rows[0].ViolationProb*100, "m1ViolProb%")
+	}
+}
+
+// BenchmarkP2RM3Overhead2Core, 4Core and 8Core regenerate P2.OV: RM3
+// invocation cost versus core count (paper: 18K/40K/67K instructions for
+// 2/4/8 cores).
+func BenchmarkP2RM3Overhead2Core(b *testing.B) {
+	db2 := twoCoreDB(b)
+	probe, err := experiments.NewOverheadProbe(db2, core.SchemeCoordCoreDVFSCache, core.Model3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe.Invoke()
+	}
+}
+
+var (
+	db2Once sync.Once
+	db2Inst *simdb.DB
+	db2Err  error
+)
+
+// twoCoreDB lazily builds a 2-core database for the overhead scaling bench.
+func twoCoreDB(b *testing.B) *simdb.DB {
+	b.Helper()
+	db2Once.Do(func() {
+		db2Inst, db2Err = simdb.Build(arch.DefaultSystemConfig(2), trace.Suite(),
+			simdb.DefaultBuildOptions())
+	})
+	if db2Err != nil {
+		b.Fatal(db2Err)
+	}
+	return db2Inst
+}
+
+// BenchmarkP2RM3Overhead4Core measures RM3 Decide on four cores.
+func BenchmarkP2RM3Overhead4Core(b *testing.B) {
+	env := benchEnv(b)
+	probe, err := experiments.NewOverheadProbe(env.DB4, core.SchemeCoordCoreDVFSCache, core.Model3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe.Invoke()
+	}
+}
+
+// BenchmarkP2RM3Overhead8Core measures RM3 Decide on eight cores.
+func BenchmarkP2RM3Overhead8Core(b *testing.B) {
+	env := benchEnv(b)
+	probe, err := experiments.NewOverheadProbe(env.DB8, core.SchemeCoordCoreDVFSCache, core.Model3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe.Invoke()
+	}
+}
+
+// ---- extension and ablation benchmarks (see EXPERIMENTS.md) ----
+
+// BenchmarkExtFeedback regenerates EXT.FB: the thesis' phase-history
+// feedback proposal versus the paper's Model 2 and the MLP-ATD hardware.
+func BenchmarkExtFeedback(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFeedbackAblation(env.DB4, env.Mixes4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].IntervalViolProb*100, "model2ViolProb%")
+		b.ReportMetric(rows[1].IntervalViolProb*100, "feedbackViolProb%")
+		b.ReportMetric(rows[2].IntervalViolProb*100, "mlpATDViolProb%")
+	}
+}
+
+// BenchmarkExtScheduler regenerates EXT.SCHED: characteristics-guided
+// collocation versus adversarial clustering.
+func BenchmarkExtScheduler(b *testing.B) {
+	env := benchEnv(b)
+	apps := []string{"mcf", "omnetpp", "perlbench", "xalancbmk",
+		"gamess", "hmmer", "namd", "povray"}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunSchedulerGuidance(env.DB4, apps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Measured*100, "adversarial%")
+		b.ReportMetric(rows[1].Measured*100, "guided%")
+	}
+}
+
+// BenchmarkAblationUncoordinated regenerates AB.UNC: the independent
+// UCP+DVFS design versus the coordinated manager.
+func BenchmarkAblationUncoordinated(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunUncoordinatedAblation(env.DB4, env.Mixes4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].AvgSavings*100, "uncoordAvg%")
+		b.ReportMetric(rows[1].AvgSavings*100, "coordAvg%")
+	}
+}
+
+// BenchmarkAblationSwitchCosts regenerates AB.SW: reconfiguration-overhead
+// sensitivity.
+func BenchmarkAblationSwitchCosts(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunSwitchCostAblation(env.DB4, env.Mixes4[:8])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].AvgSavings*100, "x0.01%")
+		b.ReportMetric(rows[2].AvgSavings*100, "x50%")
+	}
+}
+
+// BenchmarkAblationBandwidth regenerates AB.BW: per-core bandwidth pressure.
+func BenchmarkAblationBandwidth(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunBandwidthAblation(env.DB4, env.Mixes4[:8])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[2].QoS.Violations), "viol@3GBps")
+	}
+}
+
+// ---- micro-benchmarks of the substrate kernels ----
+
+// BenchmarkATDAccess measures the auxiliary-tag-directory access path.
+func BenchmarkATDAccess(b *testing.B) {
+	atd := cache.NewATD(1024, 16, 1)
+	rng := stats.NewRNG(1)
+	lines := make([]uint32, 4096)
+	for i := range lines {
+		lines[i] = uint32(rng.Intn(200_000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atd.Access(lines[i&4095])
+	}
+}
+
+// BenchmarkStackDistances measures the full-stream distance computation
+// used by the detailed simulator.
+func BenchmarkStackDistances(b *testing.B) {
+	bh := trace.Behavior{
+		Name: "bench", IlpIPC: 2.5, APKI: 15,
+		HotLines: 2000, WarmLines: 5000, PHot: 0.45, PWarm: 0.35,
+		PBurst: 0.3, BurstLen: 6, BurstGap: 10, PDep: 0.2,
+	}
+	s := bh.Generate(7, trace.SampleParams{Accesses: 20000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Distances(1024, 16, s.Measured)
+	}
+}
+
+// BenchmarkMLPAnalysis measures the MLP-ATD leading-miss detection.
+func BenchmarkMLPAnalysis(b *testing.B) {
+	bh := trace.Behavior{
+		Name: "bench", IlpIPC: 3, APKI: 20,
+		HotLines: 500, PHot: 0.2,
+		PBurst: 0.4, BurstLen: 10, BurstGap: 6, PDep: 0.1,
+	}
+	s := bh.Generate(9, trace.SampleParams{Accesses: 20000})
+	dists := cache.Distances(1024, 16, s.Measured)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.AnalyzeMLP(s.Measured, dists, 4, 128, 8)
+	}
+}
+
+// BenchmarkCurveReduction measures the global optimization (pairwise
+// energy-curve reduction) for an 8-core, 32-way system.
+func BenchmarkCurveReduction(b *testing.B) {
+	rng := stats.NewRNG(3)
+	curves := make([]*core.Curve, 8)
+	for i := range curves {
+		c := &core.Curve{Options: make([]core.Option, 33)}
+		for w := range c.Options {
+			if w == 0 || w > 25 {
+				c.Options[w] = core.Option{EPI: math.Inf(1)}
+				continue
+			}
+			c.Options[w] = core.Option{EPI: rng.Float64() + 0.1, Feasible: true}
+		}
+		curves[i] = c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := core.AllocateWays(curves, 32); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkTreeReduction16Core measures the paper's pairwise reduction
+// tree at a core count beyond the evaluated systems (scalability claim).
+func BenchmarkTreeReduction16Core(b *testing.B) {
+	rng := stats.NewRNG(5)
+	const assoc = 64
+	curves := make([]*core.Curve, 16)
+	for i := range curves {
+		c := &core.Curve{Options: make([]core.Option, assoc+1)}
+		for w := range c.Options {
+			if w == 0 || w > assoc-15 {
+				c.Options[w] = core.Option{EPI: math.Inf(1)}
+				continue
+			}
+			c.Options[w] = core.Option{EPI: rng.Float64() + 0.1, Feasible: true}
+		}
+		curves[i] = c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := core.AllocateWaysTree(curves, assoc); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkSimDBLookup measures one ground-truth performance evaluation.
+func BenchmarkSimDBLookup(b *testing.B) {
+	env := benchEnv(b)
+	s := env.DB4.Sys.BaselineSetting()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.DB4.Perf("mcf", 0, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRMASimRun measures a complete co-phase workload simulation.
+func BenchmarkRMASimRun(b *testing.B) {
+	env := benchEnv(b)
+	mix := env.Mixes4[7]
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Execute(experiments.RunSpec{
+			DB: env.DB4, Mix: mix, Scheme: core.SchemeCoordDVFSCache,
+			Model: core.Model2, BaselineFreqIdx: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimDBBuild measures the offline detailed-simulation step for one
+// benchmark (the thesis Figure 2.1 database construction, per application).
+func BenchmarkSimDBBuild(b *testing.B) {
+	sys := benchEnv(b).DB4.Sys
+	bench := trace.ByName("gcc")
+	opt := simdb.DefaultBuildOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simdb.Build(sys, []*trace.Benchmark{bench}, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

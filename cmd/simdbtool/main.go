@@ -1,0 +1,116 @@
+// Command simdbtool builds, saves and inspects the simulation-results
+// database — the offline detailed-simulation step of the methodology
+// (thesis Figure 2.1).
+//
+// Examples:
+//
+//	simdbtool -cores 4 -out db4.gob.gz         # build and save
+//	simdbtool -in db4.gob.gz -info             # inspect a saved database
+//	simdbtool -cores 4 -characterize           # print the categorization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/simdb"
+	"qosrma/internal/trace"
+	"qosrma/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simdbtool: ")
+
+	var (
+		cores        = flag.Int("cores", 4, "number of cores (build mode)")
+		out          = flag.String("out", "", "write the database to this file")
+		in           = flag.String("in", "", "load the database from this file")
+		info         = flag.Bool("info", false, "print per-phase information")
+		characterize = flag.Bool("characterize", false, "print the benchmark categorization")
+	)
+	flag.Parse()
+
+	var (
+		db  *simdb.DB
+		err error
+	)
+	if *in != "" {
+		db, err = simdb.LoadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d-core database with %d phase records", db.Sys.NumCores, len(db.Phases))
+	} else {
+		start := time.Now()
+		log.Printf("building %d-core database over %d benchmarks...", *cores, len(trace.Suite()))
+		db, err = simdb.Build(arch.DefaultSystemConfig(*cores), trace.Suite(), simdb.DefaultBuildOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("built %d phase records in %v", len(db.Phases), time.Since(start).Round(time.Millisecond))
+	}
+
+	if *out != "" {
+		if err := db.SaveFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		st, err := os.Stat(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d bytes)", *out, st.Size())
+	}
+
+	if *info {
+		printInfo(db)
+	}
+	if *characterize {
+		printCharacterization(db)
+	}
+}
+
+func printInfo(db *simdb.DB) {
+	names := make([]string, 0, len(db.Analyses))
+	for n := range db.Analyses {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\tslices\tphases\tphase\tweight\trep slice\tAPKI\tMPKI@base\tIlpIPC\n")
+	base := db.Sys.BaselineWays()
+	for _, n := range names {
+		an := db.Analyses[n]
+		for p := 0; p < an.NumPhases; p++ {
+			rec, err := db.Record(n, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2f\t%d\t%.1f\t%.2f\t%.2f\n",
+				n, an.Bench.NumSlices(), an.NumPhases, p, rec.Weight, rec.RepSlice,
+				rec.APKI, rec.Misses[base]/(trace.SliceInstructions/1000), rec.IlpIPC)
+		}
+	}
+	w.Flush()
+}
+
+func printCharacterization(db *simdb.DB) {
+	profiles, err := workload.CharacterizeAll(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\tMPKI@base\tMPKI drop\trel drop\tMLP small\tMLP large\tPaper I\tPaper II\n")
+	for _, p := range profiles {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%s\t%s\n",
+			p.Bench, p.BaselineMPKI, p.MPKIDrop, p.RelDrop,
+			p.MLPSmall, p.MLPLarge, p.PaperIClass, p.PaperII())
+	}
+	w.Flush()
+}

@@ -1,0 +1,154 @@
+package cache
+
+import "qosrma/internal/trace"
+
+// ATD is an auxiliary tag directory: a tags-only shadow of the LLC that
+// records, for one core's access stream, the LRU stack-distance histogram.
+// From a single pass it yields the miss count the core would suffer for
+// *every* possible way allocation w in 1..assoc, which is the profile the
+// paper's resource manager consumes (Figure 3 of Paper I).
+//
+// With SampleIn > 1 the ATD holds tags for one in SampleIn sets only (set
+// sampling, as in the UCP hardware), and Misses scales counts back up; this
+// is the realistic, noisy profile. SampleIn == 1 gives the exact profile.
+type ATD struct {
+	sets     int
+	assoc    int
+	sampleIn int
+	stacks   [][]uint32 // per sampled set: line tags, most recent first
+
+	hits []uint64 // hits[d]: accesses with stack distance d
+	deep uint64   // accesses with distance >= assoc (miss at any allocation)
+	n    uint64   // sampled accesses
+}
+
+// NewATD builds an ATD for the given LLC geometry. sampleIn must divide sets.
+func NewATD(sets, assoc, sampleIn int) *ATD {
+	if sets <= 0 || assoc <= 0 || sampleIn <= 0 || sets%sampleIn != 0 {
+		panic("cache: invalid ATD geometry")
+	}
+	return &ATD{
+		sets:     sets,
+		assoc:    assoc,
+		sampleIn: sampleIn,
+		stacks:   make([][]uint32, sets/sampleIn),
+		hits:     make([]uint64, assoc),
+	}
+}
+
+// Access records one access. It returns the LRU stack distance of the line
+// within its set (-1 if the line was not resident in the tag stack, i.e. a
+// miss for every allocation), or -2 if the set is not sampled.
+func (a *ATD) Access(lineAddr uint32) int {
+	setIdx := int(lineAddr) % a.sets
+	if setIdx%a.sampleIn != 0 {
+		return -2
+	}
+	sIdx := setIdx / a.sampleIn
+	stack := a.stacks[sIdx]
+	a.n++
+
+	dist := -1
+	for i, tag := range stack {
+		if tag == lineAddr {
+			dist = i
+			break
+		}
+	}
+	switch {
+	case dist >= 0:
+		a.hits[dist]++
+		// Move to front.
+		copy(stack[1:dist+1], stack[:dist])
+		stack[0] = lineAddr
+	default:
+		a.deep++
+		if len(stack) < a.assoc {
+			stack = append(stack, 0)
+		}
+		copy(stack[1:], stack)
+		stack[0] = lineAddr
+		a.stacks[sIdx] = stack
+	}
+	return dist
+}
+
+// Misses returns the estimated total miss count for an allocation of w ways,
+// scaled up by the sampling factor. Under LRU inclusion this is exact when
+// SampleIn == 1.
+func (a *ATD) Misses(w int) float64 {
+	if w < 0 {
+		w = 0
+	}
+	if w > a.assoc {
+		w = a.assoc
+	}
+	m := a.deep
+	for d := w; d < a.assoc; d++ {
+		m += a.hits[d]
+	}
+	return float64(m) * float64(a.sampleIn)
+}
+
+// Profile returns Misses(w) for every w in 0..assoc.
+func (a *ATD) Profile() []float64 {
+	p := make([]float64, a.assoc+1)
+	for w := 0; w <= a.assoc; w++ {
+		p[w] = a.Misses(w)
+	}
+	return p
+}
+
+// SampledAccesses returns the number of accesses that landed in sampled sets.
+func (a *ATD) SampledAccesses() uint64 { return a.n }
+
+// ResetCounters clears the hit/miss counters while keeping the tag stacks
+// warm, so that a warm-up stream can precede the measured stream (the 100M
+// warm-up slice of the thesis methodology).
+func (a *ATD) ResetCounters() {
+	for i := range a.hits {
+		a.hits[i] = 0
+	}
+	a.deep = 0
+	a.n = 0
+}
+
+// Reset clears counters and tag stacks.
+func (a *ATD) Reset() {
+	for i := range a.stacks {
+		a.stacks[i] = a.stacks[i][:0]
+	}
+	for i := range a.hits {
+		a.hits[i] = 0
+	}
+	a.deep = 0
+	a.n = 0
+}
+
+// Distances computes, in one pass over a full (unsampled) tag directory, the
+// stack distance of every access in the stream: distances[i] is the LRU
+// depth of access i within its set, or -1 if deeper than assoc (a miss for
+// every allocation). An access misses under an allocation of w ways exactly
+// when its distance is -1 or >= w. This drives the detailed simulator and
+// the MLP analysis.
+func Distances(sets, assoc int, accs []trace.Access) []int16 {
+	atd := NewATD(sets, assoc, 1)
+	out := make([]int16, len(accs))
+	for i, acc := range accs {
+		d := atd.Access(acc.Line)
+		out[i] = int16(d)
+	}
+	return out
+}
+
+// MissCount returns the number of misses in the stream for an allocation of
+// w ways given precomputed distances.
+func MissCount(dists []int16, w int) int {
+	n := 0
+	for _, d := range dists {
+		if d < 0 || int(d) >= w {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,422 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qosrma/internal/stats"
+	"qosrma/internal/trace"
+)
+
+// randomStream builds a deterministic synthetic access stream with a mix of
+// reuse and streaming.
+func randomStream(seed uint64, n, hotLines int) []trace.Access {
+	rng := stats.NewRNG(seed)
+	accs := make([]trace.Access, n)
+	next := uint32(hotLines)
+	instr := uint32(0)
+	for i := range accs {
+		instr += uint32(1 + rng.Intn(50))
+		var l uint32
+		if rng.Float64() < 0.7 {
+			l = uint32(rng.Intn(hotLines))
+		} else {
+			l = next
+			next++
+		}
+		accs[i] = trace.Access{Line: l, Instr: instr, Dep: rng.Float64() < 0.3}
+	}
+	return accs
+}
+
+func TestLLCBasicHitMiss(t *testing.T) {
+	c := NewLLC(4, 2, 1)
+	if c.Access(0, 0) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(0, 0) {
+		t.Fatal("second access must hit")
+	}
+	if c.Hits[0] != 1 || c.Misses[0] != 1 {
+		t.Fatalf("stats wrong: %d hits, %d misses", c.Hits[0], c.Misses[0])
+	}
+}
+
+func TestLLCLRUWithinSet(t *testing.T) {
+	// 1 set, 2 ways, single core: lines 0,1 fill; touching 0 then inserting
+	// 2 must evict 1.
+	c := NewLLC(1, 2, 1)
+	c.Access(0, 0)
+	c.Access(0, 1)
+	c.Access(0, 0) // 0 is MRU
+	c.Access(0, 2) // evicts 1
+	if !c.Access(0, 0) {
+		t.Fatal("line 0 should have survived")
+	}
+	if c.Access(0, 1) {
+		t.Fatal("line 1 should have been evicted")
+	}
+}
+
+func TestLLCPartitionIsolation(t *testing.T) {
+	// Two cores, 4 ways, quota 2+2. Core 1's heavy traffic must not evict
+	// core 0's lines once occupancy is at quota.
+	c := NewLLC(1, 4, 2)
+	c.SetPartition([]int{2, 2})
+	c.Access(0, 0)
+	c.Access(0, 1)
+	for i := uint32(0); i < 100; i++ {
+		c.Access(1, 1000+i)
+	}
+	if !c.Access(0, 0) || !c.Access(0, 1) {
+		t.Fatal("partitioning failed to protect core 0's lines")
+	}
+}
+
+func TestLLCRepartitionReclaimsLazily(t *testing.T) {
+	c := NewLLC(1, 4, 2)
+	c.SetPartition([]int{3, 1})
+	c.Access(0, 0)
+	c.Access(0, 1)
+	c.Access(0, 2) // core 0 holds 3 lines
+	c.SetPartition([]int{1, 3})
+	// Core 1 misses should steal from over-quota core 0.
+	c.Access(1, 100)
+	c.Access(1, 101)
+	hits := 0
+	for _, l := range []uint32{0, 1, 2} {
+		if c.Access(0, l) {
+			hits++
+		}
+	}
+	if hits > 1 {
+		t.Fatalf("core 0 kept %d lines, quota is 1", hits)
+	}
+}
+
+func TestLLCPanicsOnBadPartition(t *testing.T) {
+	c := NewLLC(4, 4, 2)
+	for _, quota := range [][]int{{0, 4}, {3, 3}, {1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetPartition(%v) did not panic", quota)
+				}
+			}()
+			c.SetPartition(quota)
+		}()
+	}
+}
+
+func TestATDMatchesRealCache(t *testing.T) {
+	// LRU inclusion: ATD misses(w) must equal a real w-way cache's misses.
+	const sets = 64
+	stream := randomStream(11, 20000, 800)
+	atd := NewATD(sets, 16, 1)
+	for _, a := range stream {
+		atd.Access(a.Line)
+	}
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		c := NewLLC(sets, w, 1)
+		for _, a := range stream {
+			c.Access(0, a.Line)
+		}
+		if got, want := atd.Misses(w), float64(c.Misses[0]); got != want {
+			t.Errorf("w=%d: ATD %v vs real cache %v", w, got, want)
+		}
+	}
+}
+
+func TestATDProfileMonotone(t *testing.T) {
+	stream := randomStream(12, 30000, 2000)
+	atd := NewATD(128, 16, 1)
+	for _, a := range stream {
+		atd.Access(a.Line)
+	}
+	p := atd.Profile()
+	if len(p) != 17 {
+		t.Fatalf("profile length %d", len(p))
+	}
+	for w := 1; w < len(p); w++ {
+		if p[w] > p[w-1] {
+			t.Fatalf("misses increased with more ways at w=%d: %v > %v", w, p[w], p[w-1])
+		}
+	}
+	if p[0] != float64(len(stream)) {
+		t.Fatalf("misses(0) = %v, want every access (%d)", p[0], len(stream))
+	}
+}
+
+func TestATDSamplingApproximatesExact(t *testing.T) {
+	stream := randomStream(13, 60000, 3000)
+	exact := NewATD(1024, 16, 1)
+	sampled := NewATD(1024, 16, 32)
+	for _, a := range stream {
+		exact.Access(a.Line)
+		sampled.Access(a.Line)
+	}
+	for _, w := range []int{2, 4, 8, 12} {
+		e, s := exact.Misses(w), sampled.Misses(w)
+		if e == 0 {
+			continue
+		}
+		rel := (s - e) / e
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.15 {
+			t.Errorf("w=%d: sampled %v vs exact %v (rel err %.3f)", w, s, e, rel)
+		}
+	}
+}
+
+func TestATDReset(t *testing.T) {
+	atd := NewATD(16, 4, 1)
+	atd.Access(1)
+	atd.Access(1)
+	atd.Reset()
+	if atd.SampledAccesses() != 0 || atd.Misses(4) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestDistancesConsistentWithMissCount(t *testing.T) {
+	stream := randomStream(14, 20000, 1500)
+	dists := Distances(256, 16, stream)
+	atd := NewATD(256, 16, 1)
+	for _, a := range stream {
+		atd.Access(a.Line)
+	}
+	for w := 0; w <= 16; w++ {
+		if got, want := float64(MissCount(dists, w)), atd.Misses(w); got != want {
+			t.Fatalf("w=%d: MissCount %v != ATD %v", w, got, want)
+		}
+	}
+}
+
+func TestMLPLeadingNeverExceedsTotal(t *testing.T) {
+	stream := randomStream(15, 20000, 1000)
+	dists := Distances(256, 16, stream)
+	for _, w := range []int{1, 4, 8} {
+		r := AnalyzeMLP(stream, dists, w, 128, 8)
+		if r.LeadingMisses > r.TotalMisses {
+			t.Fatalf("w=%d: leading %d > total %d", w, r.LeadingMisses, r.TotalMisses)
+		}
+		if r.TotalMisses > 0 && r.LeadingMisses == 0 {
+			t.Fatalf("w=%d: misses with no leading miss", w)
+		}
+		if got := r.MLP(); got < 1 {
+			t.Fatalf("w=%d: MLP %v < 1", w, got)
+		}
+	}
+}
+
+func TestMLPGrowsWithCoreSize(t *testing.T) {
+	// A bursty independent stream must expose more MLP on a bigger core.
+	bh := trace.Behavior{
+		Name: "t", IlpIPC: 3, APKI: 20,
+		HotLines: 100, PHot: 0.1,
+		PBurst: 0.5, BurstLen: 12, BurstGap: 5, PDep: 0.05,
+	}
+	s := bh.Generate(42, trace.SampleParams{Accesses: 30000})
+	dists := Distances(1024, 16, s.Measured)
+	small := AnalyzeMLP(s.Measured, dists, 4, 48, 4)
+	large := AnalyzeMLP(s.Measured, dists, 4, 256, 16)
+	if large.MLP() <= small.MLP()*1.2 {
+		t.Fatalf("MLP did not grow with core size: small %.2f, large %.2f",
+			small.MLP(), large.MLP())
+	}
+}
+
+func TestMLPDependentStreamStaysSerial(t *testing.T) {
+	bh := trace.Behavior{
+		Name: "chase", IlpIPC: 1.5, APKI: 25,
+		HotLines: 100, PHot: 0.1,
+		PBurst: 0.2, BurstLen: 3, BurstGap: 20, PDep: 0.95,
+	}
+	s := bh.Generate(43, trace.SampleParams{Accesses: 30000})
+	dists := Distances(1024, 16, s.Measured)
+	small := AnalyzeMLP(s.Measured, dists, 4, 48, 4)
+	large := AnalyzeMLP(s.Measured, dists, 4, 256, 16)
+	if large.MLP() > small.MLP()*1.15 {
+		t.Fatalf("pointer chase gained MLP from core size: %.2f -> %.2f",
+			small.MLP(), large.MLP())
+	}
+	if large.MLP() > 1.5 {
+		t.Fatalf("pointer chase MLP %.2f, want near-serial", large.MLP())
+	}
+}
+
+func TestMLPProfileShape(t *testing.T) {
+	stream := randomStream(16, 10000, 600)
+	dists := Distances(256, 8, stream)
+	prof := MLPProfile(stream, dists, 8, 128, 8)
+	if len(prof) != 9 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	for w := 1; w <= 8; w++ {
+		if prof[w].TotalMisses > prof[w-1].TotalMisses {
+			t.Fatalf("total misses grew with ways at %d", w)
+		}
+	}
+}
+
+func TestUCPLookaheadPrefersSensitiveCore(t *testing.T) {
+	// Core 0: steep utility; core 1: flat. UCP should give core 0 the ways.
+	sensitive := []float64{1000, 700, 450, 250, 120, 60, 30, 20, 15}
+	flat := []float64{500, 495, 490, 487, 485, 484, 483, 482, 481}
+	alloc := UCPLookahead([][]float64{sensitive, flat}, 8, 1)
+	if alloc[0]+alloc[1] != 8 {
+		t.Fatalf("allocation %v does not use all ways", alloc)
+	}
+	if alloc[0] <= alloc[1] {
+		t.Fatalf("UCP gave sensitive core %d ways vs flat core %d", alloc[0], alloc[1])
+	}
+}
+
+func TestUCPAllocationsAlwaysValid(t *testing.T) {
+	// UCP lookahead is a heuristic: on non-convex profiles it can lose to
+	// other allocations (this matches the published algorithm). What must
+	// always hold is structural validity.
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(3) // 2..4 cores
+		total := n * 4
+		profiles := make([][]float64, n)
+		for i := range profiles {
+			p := make([]float64, total+1)
+			p[0] = 1000 + rng.Float64()*9000
+			for w := 1; w <= total; w++ {
+				p[w] = p[w-1] * (0.5 + rng.Float64()*0.5)
+			}
+			profiles[i] = p
+		}
+		alloc := UCPLookahead(profiles, total, 1)
+		sum := 0
+		for _, a := range alloc {
+			if a < 1 {
+				return false
+			}
+			sum += a
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUCPOptimalOnConvexProfiles(t *testing.T) {
+	// With diminishing returns (convex miss curves), greedy allocation is
+	// optimal; verify against exhaustive search for two cores.
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		const total = 8
+		profiles := make([][]float64, 2)
+		for i := range profiles {
+			p := make([]float64, total+1)
+			p[0] = 1000 + rng.Float64()*9000
+			gain := p[0] * (0.1 + rng.Float64()*0.3)
+			for w := 1; w <= total; w++ {
+				p[w] = p[w-1] - gain
+				if p[w] < 0 {
+					p[w] = 0
+				}
+				gain *= 0.4 + rng.Float64()*0.5 // shrinking marginal gain
+			}
+			profiles[i] = p
+		}
+		alloc := UCPLookahead(profiles, total, 1)
+		got := TotalMisses(profiles, alloc)
+		best := got
+		for w0 := 1; w0 < total; w0++ {
+			m := profiles[0][w0] + profiles[1][total-w0]
+			if m < best {
+				best = m
+			}
+		}
+		return got <= best+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUCPHandsOutAllWaysWhenNoUtility(t *testing.T) {
+	flat := []float64{10, 10, 10, 10, 10}
+	alloc := UCPLookahead([][]float64{flat, flat}, 4, 1)
+	if alloc[0]+alloc[1] != 4 {
+		t.Fatalf("allocation %v wastes ways", alloc)
+	}
+}
+
+func TestQuickATDMonotoneOnRandomStreams(t *testing.T) {
+	f := func(seed uint64, hot16 uint16) bool {
+		stream := randomStream(seed, 3000, 1+int(hot16%4000))
+		atd := NewATD(64, 16, 1)
+		for _, a := range stream {
+			atd.Access(a.Line)
+		}
+		p := atd.Profile()
+		for w := 1; w < len(p); w++ {
+			if p[w] > p[w-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPartitionedLLCNeverExceedsQuotaLongRun(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		c := NewLLC(8, 8, 2)
+		q0 := 1 + rng.Intn(7)
+		c.SetPartition([]int{q0, 8 - q0})
+		// Heavy interleaved traffic.
+		for i := 0; i < 8000; i++ {
+			core := rng.Intn(2)
+			c.Access(core, uint32(core*100000+rng.Intn(500)))
+		}
+		// After steady state, occupancy per set must respect quotas.
+		for s := 0; s < 8; s++ {
+			occ := [2]int{}
+			for _, ln := range c.data[s] {
+				if ln.valid {
+					occ[ln.owner]++
+				}
+			}
+			if occ[0] > q0 || occ[1] > 8-q0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzATDProfileMonotone(f *testing.F) {
+	f.Add(uint64(3), uint16(800))
+	f.Add(uint64(99), uint16(3000))
+	f.Fuzz(func(t *testing.T, seed uint64, hot16 uint16) {
+		stream := randomStream(seed, 2000, 1+int(hot16%5000))
+		atd := NewATD(64, 16, 1)
+		for _, a := range stream {
+			atd.Access(a.Line)
+		}
+		p := atd.Profile()
+		if p[0] != float64(len(stream)) {
+			t.Fatalf("misses(0) = %v, want every access", p[0])
+		}
+		for w := 1; w < len(p); w++ {
+			if p[w] > p[w-1] {
+				t.Fatalf("misses increased with ways at w=%d", w)
+			}
+		}
+	})
+}

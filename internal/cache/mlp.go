@@ -1,0 +1,75 @@
+package cache
+
+import "qosrma/internal/trace"
+
+// MLPResult summarizes the memory-level-parallelism analysis of one miss
+// stream for one (core size, way allocation) combination.
+type MLPResult struct {
+	TotalMisses   int
+	LeadingMisses int // misses that contribute full latency to stall time
+}
+
+// MLP returns total/leading misses; a leading miss is charged the full
+// memory latency while overlapped misses hide behind it (leading-loads
+// model, cf. Su et al. ATC'14 / Miftakhutdinov et al. MICRO'12).
+func (r MLPResult) MLP() float64 {
+	if r.LeadingMisses == 0 {
+		return 1
+	}
+	return float64(r.TotalMisses) / float64(r.LeadingMisses)
+}
+
+// AnalyzeMLP implements the Paper II MLP-aware ATD extension in software:
+// given the access stream, its precomputed stack distances, a way allocation
+// w, and the core's ROB size and MSHR count, it detects which misses overlap
+// a leading miss and which start a new miss epoch.
+//
+// A miss overlaps the current leading miss when all hold:
+//   - it is independent (no serialized pointer-chase dependence),
+//   - it issues within robWindow instructions of the leading miss (both
+//     must be in flight in the reorder buffer together), and
+//   - fewer than mshrs misses are already outstanding in the epoch.
+//
+// Otherwise it becomes the new leading miss. The hardware version of this
+// heuristic costs under 300 bytes per core (thesis §3.2); here it runs over
+// the sampled stream.
+func AnalyzeMLP(accs []trace.Access, dists []int16, w, robWindow, mshrs int) MLPResult {
+	var res MLPResult
+	var (
+		leadingInstr uint32
+		outstanding  int
+		haveEpoch    bool
+	)
+	for i, acc := range accs {
+		d := dists[i]
+		if d >= 0 && int(d) < w {
+			continue // hit at this allocation
+		}
+		res.TotalMisses++
+		overlaps := haveEpoch &&
+			!acc.Dep &&
+			acc.Instr-leadingInstr <= uint32(robWindow) &&
+			outstanding < mshrs
+		if overlaps {
+			outstanding++
+			continue
+		}
+		res.LeadingMisses++
+		leadingInstr = acc.Instr
+		outstanding = 1
+		haveEpoch = true
+	}
+	return res
+}
+
+// MLPProfile computes leading-miss counts for every way allocation in
+// 0..maxWays for one core configuration, in a single pass per allocation.
+// The result is the software equivalent of the per-configuration counters
+// the Paper II hardware extension maintains.
+func MLPProfile(accs []trace.Access, dists []int16, maxWays, robWindow, mshrs int) []MLPResult {
+	out := make([]MLPResult, maxWays+1)
+	for w := 0; w <= maxWays; w++ {
+		out[w] = AnalyzeMLP(accs, dists, w, robWindow, mshrs)
+	}
+	return out
+}

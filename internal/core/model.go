@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/power"
+)
+
+// ModelKind selects the analytical performance model (Paper II §V).
+type ModelKind int
+
+const (
+	// Model1 charges every predicted cache miss the full memory latency
+	// (total memory stall = misses x average access latency).
+	Model1 ModelKind = iota
+	// Model2 assumes the measured MLP stays constant across allocations
+	// (the Paper I model).
+	Model2
+	// Model3 uses the MLP-ATD leading-miss profile per (core size, ways)
+	// (the Paper II model with hardware support).
+	Model3
+)
+
+// String names the model like the paper does.
+func (k ModelKind) String() string {
+	switch k {
+	case Model1:
+		return "Model1"
+	case Model2:
+		return "Model2"
+	case Model3:
+		return "Model3"
+	default:
+		return "Model?"
+	}
+}
+
+// Predictor evaluates the analytical performance and energy models for
+// candidate resource settings given one interval's statistics.
+type Predictor struct {
+	Sys   *arch.SystemConfig
+	Power power.Params
+	Kind  ModelKind
+	// Feedback, when non-nil, supplies phase-history MLP estimates that
+	// override the constant-MLP assumption for visited (phase, ways)
+	// points — the thesis' proposed software alternative to the MLP-ATD
+	// hardware (see FeedbackTable).
+	Feedback *FeedbackTable
+}
+
+// saturationFraction: if the measured effective IPC is above this fraction
+// of the current width, the program is considered width-bound and a wider
+// core is assumed to help fully (a deliberate heuristic; part of the
+// realistic model error).
+const saturationFraction = 0.92
+
+// saturatedHeadroom is the assumed ILP headroom factor for width-saturated
+// programs when extrapolating to a wider core.
+const saturatedHeadroom = 1.3
+
+// effIPC estimates the dispatch-bound IPC on a target core size.
+func (p *Predictor) effIPC(st *IntervalStats, target arch.CoreParams) float64 {
+	if st.IlpIPC > 0 {
+		// Oracle statistics carry the true dependency-limited IPC.
+		return math.Min(st.IlpIPC, float64(target.Width))
+	}
+	cur := p.Sys.Cores[st.Setting.Size]
+	fcur := p.Sys.DVFS[st.Setting.FreqIdx].FreqGHz
+	memStall := st.LeadingMisses * p.Sys.Mem.LatencyNs * fcur
+	branch := st.BranchMisses * float64(cur.BranchPenal)
+	base := st.Cycles - memStall - branch
+	floor := st.Instr / float64(cur.Width)
+	if base < floor {
+		base = floor
+	}
+	effCur := st.Instr / base
+	ilp := effCur
+	if effCur >= saturationFraction*float64(cur.Width) {
+		// Width-saturated: the true ILP is unobservable from counters.
+		// Assume modest headroom beyond the current width rather than
+		// unbounded ILP; over-optimism here turns directly into QoS
+		// violations when upsizing.
+		ilp = effCur * saturatedHeadroom
+	}
+	return math.Min(ilp, float64(target.Width))
+}
+
+// predictedLeading returns the leading-miss count the model expects for the
+// given target size and way allocation.
+func (p *Predictor) predictedLeading(st *IntervalStats, size arch.CoreSize, ways int) float64 {
+	misses := p.predictedMisses(st, ways)
+	switch p.Kind {
+	case Model1:
+		return misses
+	case Model3:
+		if st.ATDLeading != nil {
+			return clampIndexed(st.ATDLeading[size], ways)
+		}
+		fallthrough
+	default: // Model2 or Model3 without the hardware extension
+		if p.Feedback != nil {
+			if mlp, ok := p.Feedback.MLPFor(st, ways); ok && mlp >= 1 {
+				return misses / mlp
+			}
+		}
+		return misses / st.MLP()
+	}
+}
+
+// predictedMisses returns the expected miss count at a way allocation.
+func (p *Predictor) predictedMisses(st *IntervalStats, ways int) float64 {
+	return clampIndexed(st.ATDMisses, ways)
+}
+
+func clampIndexed(xs []float64, i int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+// Cycles predicts the cycle count of the next interval at setting s.
+func (p *Predictor) Cycles(st *IntervalStats, s arch.Setting) float64 {
+	target := p.Sys.Cores[s.Size]
+	f := p.Sys.DVFS[s.FreqIdx].FreqGHz
+	base := st.Instr / p.effIPC(st, target)
+	branch := st.BranchMisses * float64(target.BranchPenal)
+	mem := p.predictedLeading(st, s.Size, s.Ways) * p.Sys.Mem.LatencyNs * f
+	return base + branch + mem
+}
+
+// IPS predicts instructions per second at setting s.
+func (p *Predictor) IPS(st *IntervalStats, s arch.Setting) float64 {
+	c := p.Cycles(st, s)
+	if c <= 0 {
+		return 0
+	}
+	f := p.Sys.DVFS[s.FreqIdx].FreqGHz
+	return st.Instr / (c / (f * 1e9))
+}
+
+// EPI predicts the average energy per instruction at setting s, in joules.
+func (p *Predictor) EPI(st *IntervalStats, s arch.Setting) float64 {
+	f := p.Sys.DVFS[s.FreqIdx].FreqGHz
+	secs := p.Cycles(st, s) / (f * 1e9)
+	act := power.Activity{
+		Instr:       st.Instr,
+		Seconds:     secs,
+		LLCAccesses: st.LLCAccesses,
+		DRAMAcc:     p.predictedMisses(st, s.Ways),
+		Core:        p.Sys.Cores[s.Size],
+		Op:          p.Sys.DVFS[s.FreqIdx],
+	}
+	return power.EPI(p.Power, act)
+}
+
+// QoSTargetIPS returns the minimum acceptable IPS for the next interval:
+// the model's own prediction of baseline performance, relaxed by slack
+// (slack 0.10 tolerates 10% longer execution).
+func (p *Predictor) QoSTargetIPS(st *IntervalStats, slack float64) float64 {
+	base := p.IPS(st, p.Sys.BaselineSetting())
+	if slack <= 0 {
+		return base
+	}
+	return base / (1 + slack)
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+
+	"qosrma/internal/arch"
+)
+
+// Option is the best (size, frequency) found for one way allocation during
+// local optimization, with its predicted energy per instruction.
+type Option struct {
+	Size     arch.CoreSize
+	FreqIdx  int
+	EPI      float64 // +Inf when no setting meets the QoS target
+	Feasible bool
+}
+
+// Curve is one core's pruned energy curve: for every possible way count,
+// the cheapest setting that meets the core's QoS target (Figure 3 of
+// Paper I / Figure 3 of Paper II).
+type Curve struct {
+	Core    int
+	Options []Option // indexed by ways, 0..assoc
+}
+
+// EPI returns the curve value at w (+Inf outside the feasible range).
+func (c *Curve) EPI(w int) float64 {
+	if w < 0 || w >= len(c.Options) {
+		return math.Inf(1)
+	}
+	return c.Options[w].EPI
+}
+
+// LocalOptions configures the per-core configuration-space pruning.
+type LocalOptions struct {
+	// Sizes is the candidate core sizes (just the baseline size for the
+	// Paper I scheme, all sizes for Paper II).
+	Sizes []arch.CoreSize
+	// Freqs is the candidate frequency indices (all by default; pinned to
+	// the baseline frequency for the partitioning-only scheme).
+	Freqs []int
+	// MinEnergyFreq: when false, each way count uses the *minimum* feasible
+	// frequency (Paper I's fmin(w) rule); when true, all feasible
+	// frequencies are evaluated and the cheapest is kept (Paper II's
+	// "minimum energy meeting QoS" rule).
+	MinEnergyFreq bool
+	// Slack is the QoS relaxation for this core (0 = baseline performance).
+	Slack float64
+	// MaxWays bounds the per-core allocation (assoc - (numCores-1), since
+	// every other core needs at least one way).
+	MaxWays int
+}
+
+// BuildCurve performs the local optimization: for every way count w it
+// searches the (size, frequency) plane for the cheapest setting whose
+// predicted IPS meets the QoS target, producing the core's energy curve.
+func (p *Predictor) BuildCurve(st *IntervalStats, opt LocalOptions) *Curve {
+	assoc := p.Sys.LLC.Assoc
+	if opt.MaxWays <= 0 || opt.MaxWays > assoc {
+		opt.MaxWays = assoc
+	}
+	freqs := opt.Freqs
+	if freqs == nil {
+		freqs = make([]int, len(p.Sys.DVFS))
+		for i := range freqs {
+			freqs[i] = i
+		}
+	}
+	sizes := opt.Sizes
+	if sizes == nil {
+		sizes = []arch.CoreSize{p.Sys.BaselineSize}
+	}
+	target := p.QoSTargetIPS(st, opt.Slack)
+
+	curve := &Curve{Core: st.Core, Options: make([]Option, assoc+1)}
+	for w := 0; w <= assoc; w++ {
+		curve.Options[w] = Option{EPI: math.Inf(1)}
+		if w < 1 || w > opt.MaxWays {
+			continue // every core needs at least one way
+		}
+		best := &curve.Options[w]
+		for _, size := range sizes {
+			for _, fi := range freqs {
+				s := arch.Setting{Size: size, FreqIdx: fi, Ways: w}
+				if p.IPS(st, s) < target {
+					continue
+				}
+				epi := p.EPI(st, s)
+				if epi < best.EPI {
+					*best = Option{Size: size, FreqIdx: fi, EPI: epi, Feasible: true}
+				}
+				if !opt.MinEnergyFreq {
+					// fmin(w) rule: stop at the first (lowest) feasible
+					// frequency for this size.
+					break
+				}
+			}
+		}
+	}
+	return curve
+}
+
+// AllocateWays reduces the per-core energy curves to the optimum partition
+// of totalWays across cores: it minimizes the sum of curve values subject
+// to sum(w_j) == totalWays. Curves are reduced pairwise exactly as in the
+// paper's global optimization; the implementation folds left-to-right,
+// recording the split choice at every reduction so the final allocation can
+// be unwound. Returns nil and false when no feasible allocation exists.
+func AllocateWays(curves []*Curve, totalWays int) ([]int, bool) {
+	n := len(curves)
+	if n == 0 {
+		return nil, false
+	}
+	// combined[i][W]: minimum total EPI of cores 0..i using exactly W ways.
+	// choice[i][W]: ways given to core i in that optimum.
+	combined := make([]float64, totalWays+1)
+	for W := range combined {
+		combined[W] = curves[0].EPI(W)
+	}
+	choices := make([][]int, n)
+	for i := 1; i < n; i++ {
+		next := make([]float64, totalWays+1)
+		choice := make([]int, totalWays+1)
+		for W := 0; W <= totalWays; W++ {
+			next[W] = math.Inf(1)
+			choice[W] = -1
+			for wi := 0; wi <= W; wi++ {
+				e := curves[i].EPI(wi)
+				if math.IsInf(e, 1) {
+					continue
+				}
+				prev := combined[W-wi]
+				if math.IsInf(prev, 1) {
+					continue
+				}
+				if total := prev + e; total < next[W] {
+					next[W] = total
+					choice[W] = wi
+				}
+			}
+		}
+		combined = next
+		choices[i] = choice
+	}
+	if math.IsInf(combined[totalWays], 1) {
+		return nil, false
+	}
+	// Unwind.
+	alloc := make([]int, n)
+	W := totalWays
+	for i := n - 1; i >= 1; i-- {
+		wi := choices[i][W]
+		alloc[i] = wi
+		W -= wi
+	}
+	alloc[0] = W
+	return alloc, true
+}
+
+// SettingsFromCurves converts a way allocation back into complete per-core
+// settings using each curve's per-way optimum.
+func SettingsFromCurves(curves []*Curve, alloc []int) []arch.Setting {
+	out := make([]arch.Setting, len(curves))
+	for i, c := range curves {
+		o := c.Options[alloc[i]]
+		out[i] = arch.Setting{Size: o.Size, FreqIdx: o.FreqIdx, Ways: alloc[i]}
+	}
+	return out
+}
+
+// TotalEPI evaluates an allocation against the curves (for tests and
+// diagnostics).
+func TotalEPI(curves []*Curve, alloc []int) float64 {
+	var sum float64
+	for i, c := range curves {
+		sum += c.EPI(alloc[i])
+	}
+	return sum
+}

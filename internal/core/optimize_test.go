@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/stats"
+)
+
+func TestBuildCurveBaselineAlwaysFeasible(t *testing.T) {
+	// With zero slack the QoS target is the model's own baseline
+	// prediction, so the baseline setting itself must be feasible at the
+	// baseline way count.
+	sys := arch.DefaultSystemConfig(4)
+	p := testPredictor(sys, Model2)
+	st := fakeStats(sys, 2.5, 15, missProfile(16, 2e6, 3e5, 12), 2)
+	curve := p.BuildCurve(st, LocalOptions{MaxWays: 13})
+	o := curve.Options[sys.BaselineWays()]
+	if !o.Feasible {
+		t.Fatal("baseline way count infeasible")
+	}
+	if o.FreqIdx > sys.BaselineFreqIdx {
+		t.Fatalf("fmin at baseline ways (%d) above the baseline frequency (%d)",
+			o.FreqIdx, sys.BaselineFreqIdx)
+	}
+}
+
+func TestBuildCurveFminDecreasesWithWays(t *testing.T) {
+	// A cache-sensitive profile needs less frequency when given more ways.
+	sys := arch.DefaultSystemConfig(4)
+	p := testPredictor(sys, Model2)
+	st := fakeStats(sys, 2.5, 20, missProfile(16, 3e6, 3e5, 14), 2)
+	curve := p.BuildCurve(st, LocalOptions{MaxWays: 13})
+	prev := len(sys.DVFS)
+	for w := 2; w <= 13; w++ {
+		o := curve.Options[w]
+		if !o.Feasible {
+			continue
+		}
+		if o.FreqIdx > prev {
+			t.Fatalf("fmin increased with more ways at w=%d", w)
+		}
+		prev = o.FreqIdx
+	}
+}
+
+func TestBuildCurveRespectsWayBounds(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	p := testPredictor(sys, Model2)
+	st := fakeStats(sys, 2.5, 10, missProfile(16, 1e6, 2e5, 10), 2)
+	curve := p.BuildCurve(st, LocalOptions{MaxWays: 13})
+	if !math.IsInf(curve.EPI(0), 1) {
+		t.Fatal("w=0 must be infeasible")
+	}
+	for w := 14; w <= 16; w++ {
+		if !math.IsInf(curve.EPI(w), 1) {
+			t.Fatalf("w=%d beyond MaxWays must be infeasible", w)
+		}
+	}
+	if !math.IsInf(curve.EPI(-1), 1) || !math.IsInf(curve.EPI(99), 1) {
+		t.Fatal("out-of-range EPI must be +Inf")
+	}
+}
+
+func TestBuildCurvePinnedFrequency(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	p := testPredictor(sys, Model2)
+	st := fakeStats(sys, 2.5, 15, missProfile(16, 2e6, 3e5, 12), 2)
+	curve := p.BuildCurve(st, LocalOptions{
+		Freqs:   []int{sys.BaselineFreqIdx},
+		MaxWays: 13,
+	})
+	for w := 1; w <= 13; w++ {
+		if o := curve.Options[w]; o.Feasible && o.FreqIdx != sys.BaselineFreqIdx {
+			t.Fatalf("pinned frequency violated at w=%d", w)
+		}
+	}
+}
+
+func TestBuildCurveMinEnergyNeverWorseThanFmin(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	p := testPredictor(sys, Model2)
+	st := fakeStats(sys, 2.5, 15, missProfile(16, 2e6, 3e5, 12), 2)
+	fmin := p.BuildCurve(st, LocalOptions{MaxWays: 13})
+	all := p.BuildCurve(st, LocalOptions{MaxWays: 13, MinEnergyFreq: true})
+	for w := 1; w <= 13; w++ {
+		if all.EPI(w) > fmin.EPI(w)+1e-15 {
+			t.Fatalf("min-energy search worse than fmin at w=%d", w)
+		}
+	}
+}
+
+func TestRM3CurveAtLeastAsGoodAsRM2Curve(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	p := testPredictor(sys, Model3)
+	st := fakeStats(sys, 2.5, 18, missProfile(16, 2.5e6, 3e5, 12), 2)
+	rm2 := p.BuildCurve(st, LocalOptions{
+		Sizes: []arch.CoreSize{sys.BaselineSize}, MaxWays: 13})
+	rm3 := p.BuildCurve(st, LocalOptions{
+		Sizes:         []arch.CoreSize{arch.SizeSmall, arch.SizeMedium, arch.SizeLarge},
+		MinEnergyFreq: true,
+		MaxWays:       13,
+	})
+	for w := 1; w <= 13; w++ {
+		if rm3.EPI(w) > rm2.EPI(w)+1e-15 {
+			t.Fatalf("RM3 curve worse than RM2 at w=%d: %v vs %v",
+				w, rm3.EPI(w), rm2.EPI(w))
+		}
+	}
+}
+
+// randomCurve builds a curve with random finite values in [1,assoc] ways.
+func randomCurve(rng *stats.RNG, assoc, maxWays int) *Curve {
+	c := &Curve{Options: make([]Option, assoc+1)}
+	for w := range c.Options {
+		c.Options[w] = Option{EPI: math.Inf(1)}
+	}
+	for w := 1; w <= maxWays; w++ {
+		c.Options[w] = Option{EPI: rng.Float64()*10 + 0.1, Feasible: true}
+	}
+	return c
+}
+
+func TestAllocateWaysMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		const assoc = 8
+		n := 2 + rng.Intn(2) // 2..3 cores
+		curves := make([]*Curve, n)
+		for i := range curves {
+			curves[i] = randomCurve(rng, assoc, assoc-(n-1))
+		}
+		alloc, ok := AllocateWays(curves, assoc)
+		if !ok {
+			return false
+		}
+		got := TotalEPI(curves, alloc)
+
+		// Brute force.
+		best := math.Inf(1)
+		var rec func(core, remaining int, sum float64)
+		rec = func(core, remaining int, sum float64) {
+			if core == n-1 {
+				if e := curves[core].EPI(remaining); !math.IsInf(e, 1) {
+					if sum+e < best {
+						best = sum + e
+					}
+				}
+				return
+			}
+			for w := 1; w <= remaining-(n-core-1); w++ {
+				if e := curves[core].EPI(w); !math.IsInf(e, 1) {
+					rec(core+1, remaining-w, sum+e)
+				}
+			}
+		}
+		rec(0, assoc, 0)
+		return math.Abs(got-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateWaysUsesAllWays(t *testing.T) {
+	rng := stats.NewRNG(7)
+	curves := []*Curve{
+		randomCurve(rng, 16, 13), randomCurve(rng, 16, 13),
+		randomCurve(rng, 16, 13), randomCurve(rng, 16, 13),
+	}
+	alloc, ok := AllocateWays(curves, 16)
+	if !ok {
+		t.Fatal("allocation failed")
+	}
+	sum := 0
+	for _, w := range alloc {
+		if w < 1 {
+			t.Fatalf("core got %d ways", w)
+		}
+		sum += w
+	}
+	if sum != 16 {
+		t.Fatalf("allocation %v sums to %d, want 16", alloc, sum)
+	}
+}
+
+func TestAllocateWaysInfeasible(t *testing.T) {
+	c := &Curve{Options: make([]Option, 9)}
+	for w := range c.Options {
+		c.Options[w] = Option{EPI: math.Inf(1)}
+	}
+	if _, ok := AllocateWays([]*Curve{c, c}, 8); ok {
+		t.Fatal("expected infeasibility")
+	}
+	if _, ok := AllocateWays(nil, 8); ok {
+		t.Fatal("empty input should be infeasible")
+	}
+}
+
+func TestSettingsFromCurves(t *testing.T) {
+	rng := stats.NewRNG(9)
+	curves := []*Curve{randomCurve(rng, 8, 7), randomCurve(rng, 8, 7)}
+	curves[0].Options[3] = Option{Size: arch.SizeLarge, FreqIdx: 5, EPI: 0.5, Feasible: true}
+	s := SettingsFromCurves(curves, []int{3, 5})
+	if s[0].Ways != 3 || s[0].Size != arch.SizeLarge || s[0].FreqIdx != 5 {
+		t.Fatalf("settings wrong: %+v", s[0])
+	}
+	if s[1].Ways != 5 {
+		t.Fatalf("settings wrong: %+v", s[1])
+	}
+}

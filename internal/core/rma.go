@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/cache"
+	"qosrma/internal/power"
+)
+
+// Scheme identifies a resource-management algorithm evaluated in the paper.
+type Scheme int
+
+const (
+	// SchemeStatic keeps the baseline allocation (the QoS reference).
+	SchemeStatic Scheme = iota
+	// SchemeDVFSOnly controls only per-core frequency at the fixed equal
+	// partition. Under QoS targets defined by the baseline it has no room
+	// to scale down (the paper notes it "cannot save energy without
+	// degrading the performance").
+	SchemeDVFSOnly
+	// SchemePartitionOnly (RM1) repartitions the LLC at the baseline
+	// frequency and size, subject to QoS feasibility.
+	SchemePartitionOnly
+	// SchemeCoordDVFSCache (RM2) coordinates per-core DVFS with LLC
+	// partitioning — the IPDPS 2019 / Paper I contribution.
+	SchemeCoordDVFSCache
+	// SchemeCoordCoreDVFSCache (RM3) additionally reconfigures the core
+	// micro-architecture — the Paper II contribution.
+	SchemeCoordCoreDVFSCache
+	// SchemeUCPDVFS is the uncoordinated design the paper argues against:
+	// the LLC is partitioned by miss-minimizing UCP lookahead with no
+	// notion of per-application QoS, and an independent QoS-aware DVFS
+	// controller then picks each core's minimum feasible frequency given
+	// whatever allocation it was handed.
+	SchemeUCPDVFS
+)
+
+// String names the scheme as the papers do.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeStatic:
+		return "Static"
+	case SchemeDVFSOnly:
+		return "DVFS-only"
+	case SchemePartitionOnly:
+		return "RM1-Partitioning"
+	case SchemeCoordDVFSCache:
+		return "RM2-DVFS+Cache"
+	case SchemeCoordCoreDVFSCache:
+		return "RM3-Core+DVFS+Cache"
+	case SchemeUCPDVFS:
+		return "UCP+DVFS-uncoord"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Config configures a resource manager instance.
+type Config struct {
+	Sys    arch.SystemConfig
+	Power  power.Params
+	Scheme Scheme
+	Model  ModelKind
+	// Slack is the per-core QoS relaxation (fraction of tolerated
+	// execution-time increase); nil means zero for every core.
+	Slack []float64
+	// Feedback enables the phase-history MLP table (the thesis' software
+	// alternative to the MLP-ATD hardware; see FeedbackTable).
+	Feedback bool
+}
+
+// Manager is the online resource manager. It retains the most recent energy
+// curve per core (the paper's "other cores already available" state) and,
+// on each invocation, rebuilds the invoking core's curve and re-runs the
+// global optimization.
+type Manager struct {
+	cfg       Config
+	pred      Predictor
+	curves    []*Curve
+	settings  []arch.Setting
+	feedback  []*FeedbackTable // per core; nil when disabled
+	lastStats []*IntervalStats // per core; kept for the uncoordinated scheme
+
+	// Invocations counts Decide calls (diagnostics).
+	Invocations int
+}
+
+// NewManager builds a resource manager with every core at the baseline
+// setting.
+func NewManager(cfg Config) *Manager {
+	n := cfg.Sys.NumCores
+	if cfg.Slack == nil {
+		cfg.Slack = make([]float64, n)
+	}
+	if len(cfg.Slack) != n {
+		panic("core: slack vector length mismatch")
+	}
+	m := &Manager{
+		cfg:       cfg,
+		pred:      Predictor{Sys: &cfg.Sys, Power: cfg.Power, Kind: cfg.Model},
+		curves:    make([]*Curve, n),
+		settings:  make([]arch.Setting, n),
+		lastStats: make([]*IntervalStats, n),
+	}
+	if cfg.Feedback {
+		m.feedback = make([]*FeedbackTable, n)
+		for i := range m.feedback {
+			m.feedback[i] = NewFeedbackTable(cfg.Sys.LLC.Assoc)
+		}
+	}
+	for i := range m.settings {
+		m.settings[i] = cfg.Sys.BaselineSetting()
+	}
+	return m
+}
+
+// Settings returns the currently applied per-core settings.
+func (m *Manager) Settings() []arch.Setting {
+	return append([]arch.Setting(nil), m.settings...)
+}
+
+// Slack returns the QoS relaxation configured for a core.
+func (m *Manager) Slack(core int) float64 { return m.cfg.Slack[core] }
+
+// Scheme returns the configured scheme.
+func (m *Manager) Scheme() Scheme { return m.cfg.Scheme }
+
+// FeedbackFor exposes a core's phase-history table (nil when the feedback
+// extension is disabled). Diagnostics only.
+func (m *Manager) FeedbackFor(core int) *FeedbackTable {
+	if m.feedback == nil {
+		return nil
+	}
+	return m.feedback[core]
+}
+
+// localOptions returns the per-core search space for the configured scheme.
+func (m *Manager) localOptions(core int) LocalOptions {
+	sys := m.cfg.Sys
+	maxWays := sys.LLC.Assoc - (sys.NumCores - 1)
+	opt := LocalOptions{
+		Slack:   m.cfg.Slack[core],
+		MaxWays: maxWays,
+	}
+	switch m.cfg.Scheme {
+	case SchemePartitionOnly:
+		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
+		opt.Freqs = []int{sys.BaselineFreqIdx}
+	case SchemeCoordDVFSCache:
+		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
+	case SchemeCoordCoreDVFSCache:
+		opt.Sizes = []arch.CoreSize{arch.SizeSmall, arch.SizeMedium, arch.SizeLarge}
+		opt.MinEnergyFreq = true
+	}
+	return opt
+}
+
+// Decide is the RMA invocation: core invoker has completed an interval with
+// the given statistics. It returns the new settings for all cores and true,
+// or nil and false when the manager keeps the current settings (static
+// scheme, warm-up, or no feasible allocation).
+func (m *Manager) Decide(invoker int, st *IntervalStats) ([]arch.Setting, bool) {
+	m.Invocations++
+	sys := m.cfg.Sys
+
+	if m.feedback != nil {
+		// Record the completed interval in the invoker's phase table and
+		// make the table available to the predictor for this invocation.
+		m.feedback[invoker].Observe(st)
+		m.pred.Feedback = m.feedback[invoker]
+		defer func() { m.pred.Feedback = nil }()
+	}
+
+	m.lastStats[invoker] = st
+
+	switch m.cfg.Scheme {
+	case SchemeStatic:
+		return nil, false
+
+	case SchemeUCPDVFS:
+		return m.decideUncoordinated()
+
+	case SchemeDVFSOnly:
+		// Frequency-only control at the fixed equal partition: pick the
+		// cheapest feasible frequency for the invoker alone.
+		opt := m.localOptions(invoker)
+		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
+		curve := m.pred.BuildCurve(st, opt)
+		o := curve.Options[sys.BaselineWays()]
+		if !o.Feasible {
+			return nil, false
+		}
+		m.settings[invoker] = arch.Setting{
+			Size: o.Size, FreqIdx: o.FreqIdx, Ways: sys.BaselineWays(),
+		}
+		return m.Settings(), true
+	}
+
+	// Coordinated schemes: rebuild the invoker's curve, reuse the last
+	// curves of the other cores (thesis Fig. 3.1/3.2).
+	m.curves[invoker] = m.pred.BuildCurve(st, m.localOptions(invoker))
+	for _, c := range m.curves {
+		if c == nil {
+			// First invocations: some cores have no statistics yet — keep
+			// the baseline setting (thesis Chapter 2, footnote 2).
+			return nil, false
+		}
+	}
+	alloc, ok := AllocateWays(m.curves, sys.LLC.Assoc)
+	if !ok {
+		return nil, false
+	}
+	m.settings = SettingsFromCurves(m.curves, alloc)
+	return m.Settings(), true
+}
+
+// decideUncoordinated implements the independent-controller design: UCP
+// partitions the cache to minimize total misses, then a QoS-aware DVFS
+// controller independently picks each core's frequency for the allocation
+// it was handed. When a core's QoS cannot be met at its UCP share even at
+// the maximum frequency, it runs at maximum frequency — the violation the
+// paper's coordinated design exists to prevent.
+func (m *Manager) decideUncoordinated() ([]arch.Setting, bool) {
+	sys := m.cfg.Sys
+	profiles := make([][]float64, len(m.lastStats))
+	for i, st := range m.lastStats {
+		if st == nil {
+			return nil, false // warm-up: keep the baseline
+		}
+		profiles[i] = st.ATDMisses
+	}
+	alloc := cache.UCPLookahead(profiles, sys.LLC.Assoc, 1)
+	for i, st := range m.lastStats {
+		opt := m.localOptions(i)
+		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
+		curve := m.pred.BuildCurve(st, opt)
+		if o := curve.Options[alloc[i]]; o.Feasible {
+			m.settings[i] = arch.Setting{Size: o.Size, FreqIdx: o.FreqIdx, Ways: alloc[i]}
+		} else {
+			m.settings[i] = arch.Setting{
+				Size: sys.BaselineSize, FreqIdx: len(sys.DVFS) - 1, Ways: alloc[i],
+			}
+		}
+	}
+	return m.Settings(), true
+}

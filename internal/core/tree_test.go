@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qosrma/internal/stats"
+)
+
+func TestTreeMatchesFold(t *testing.T) {
+	// The pairwise reduction tree and the sequential fold must find
+	// allocations of identical total energy on arbitrary inputs.
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		const assoc = 12
+		n := 2 + rng.Intn(5) // 2..6 cores
+		curves := make([]*Curve, n)
+		for i := range curves {
+			curves[i] = randomCurve(rng, assoc, assoc-(n-1))
+		}
+		foldAlloc, okF := AllocateWays(curves, assoc)
+		treeAlloc, okT := AllocateWaysTree(curves, assoc)
+		if okF != okT {
+			return false
+		}
+		if !okF {
+			return true
+		}
+		return math.Abs(TotalEPI(curves, foldAlloc)-TotalEPI(curves, treeAlloc)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeAllocationValid(t *testing.T) {
+	rng := stats.NewRNG(17)
+	const assoc = 32
+	curves := make([]*Curve, 8)
+	for i := range curves {
+		curves[i] = randomCurve(rng, assoc, assoc-7)
+	}
+	alloc, ok := AllocateWaysTree(curves, assoc)
+	if !ok {
+		t.Fatal("allocation failed")
+	}
+	sum := 0
+	for _, w := range alloc {
+		if w < 1 {
+			t.Fatalf("core got %d ways", w)
+		}
+		sum += w
+	}
+	if sum != assoc {
+		t.Fatalf("allocation sums to %d", sum)
+	}
+}
+
+func TestTreeOddCoreCount(t *testing.T) {
+	rng := stats.NewRNG(23)
+	for _, n := range []int{1, 3, 5, 7} {
+		const assoc = 16
+		curves := make([]*Curve, n)
+		for i := range curves {
+			curves[i] = randomCurve(rng, assoc, assoc-(n-1))
+		}
+		alloc, ok := AllocateWaysTree(curves, assoc)
+		if !ok {
+			t.Fatalf("n=%d: allocation failed", n)
+		}
+		sum := 0
+		for _, w := range alloc {
+			sum += w
+		}
+		if sum != assoc {
+			t.Fatalf("n=%d: allocation sums to %d", n, sum)
+		}
+	}
+}
+
+func TestTreeInfeasible(t *testing.T) {
+	c := &Curve{Options: make([]Option, 9)}
+	for w := range c.Options {
+		c.Options[w] = Option{EPI: math.Inf(1)}
+	}
+	if _, ok := AllocateWaysTree([]*Curve{c, c}, 8); ok {
+		t.Fatal("expected infeasibility")
+	}
+	if _, ok := AllocateWaysTree(nil, 8); ok {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func FuzzAllocateWaysEquivalence(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(42))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rng := stats.NewRNG(seed)
+		const assoc = 8
+		n := 2 + rng.Intn(3)
+		curves := make([]*Curve, n)
+		for i := range curves {
+			curves[i] = randomCurve(rng, assoc, assoc-(n-1))
+		}
+		a1, ok1 := AllocateWays(curves, assoc)
+		a2, ok2 := AllocateWaysTree(curves, assoc)
+		if ok1 != ok2 {
+			t.Fatalf("feasibility disagrees: fold %v tree %v", ok1, ok2)
+		}
+		if ok1 && math.Abs(TotalEPI(curves, a1)-TotalEPI(curves, a2)) > 1e-9 {
+			t.Fatalf("energies disagree: %v vs %v", TotalEPI(curves, a1), TotalEPI(curves, a2))
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner produces a formatted table (for
+// cmd/experiments and EXPERIMENTS.md) and structured results (for tests and
+// benchmarks). The experiment index and the paper-reported reference values
+// live in DESIGN.md and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/core"
+	"qosrma/internal/power"
+	"qosrma/internal/rmasim"
+	"qosrma/internal/simdb"
+	"qosrma/internal/trace"
+	"qosrma/internal/workload"
+)
+
+// Env bundles the simulation databases and benchmark characterizations the
+// experiments share. Building it corresponds to the offline detailed-
+// simulation step of the methodology (thesis Figure 2.1).
+type Env struct {
+	DB4, DB8  *simdb.DB
+	Profiles4 []*workload.Profile
+	Profiles8 []*workload.Profile
+	Mixes4    []workload.Mix // the 20 Paper I four-core workloads
+	Mixes8    []workload.Mix // the 10 Paper I eight-core workloads
+	MixesII   []workload.Mix // the 16 Paper II category-pair mixes
+}
+
+// BuildEnv constructs the shared environment. It is deterministic.
+func BuildEnv() (*Env, error) {
+	suite := trace.Suite()
+	opt := simdb.DefaultBuildOptions()
+
+	db4, err := simdb.Build(arch.DefaultSystemConfig(4), suite, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: 4-core db: %w", err)
+	}
+	db8, err := simdb.Build(arch.DefaultSystemConfig(8), suite, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: 8-core db: %w", err)
+	}
+	p4, err := workload.CharacterizeAll(db4)
+	if err != nil {
+		return nil, err
+	}
+	p8, err := workload.CharacterizeAll(db8)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		DB4:       db4,
+		DB8:       db8,
+		Profiles4: p4,
+		Profiles8: p8,
+		Mixes4:    workload.PaperIMixes(p4, 4, 20),
+		Mixes8:    workload.PaperIMixes(p8, 8, 10),
+		MixesII:   workload.PaperIIMixes(p4),
+	}, nil
+}
+
+var (
+	sharedOnce sync.Once
+	sharedEnv  *Env
+	sharedErr  error
+)
+
+// SharedEnv returns a lazily built process-wide environment, so tests,
+// benchmarks and commands build the databases exactly once.
+func SharedEnv() (*Env, error) {
+	sharedOnce.Do(func() { sharedEnv, sharedErr = BuildEnv() })
+	return sharedEnv, sharedErr
+}
+
+// RunSpec describes one simulation: a workload under one manager config.
+type RunSpec struct {
+	DB     *simdb.DB
+	Mix    workload.Mix
+	Scheme core.Scheme
+	Model  core.ModelKind
+	Oracle bool
+	// Slack is the uniform QoS relaxation; PerCoreSlack overrides it.
+	Slack        float64
+	PerCoreSlack []float64
+	// BaselineFreqIdx overrides the system baseline frequency (-1 = keep).
+	BaselineFreqIdx int
+	// Feedback enables the phase-history MLP table extension.
+	Feedback bool
+	// SwitchScale scales all reconfiguration overheads (0 = keep as-is);
+	// used by the overhead-sensitivity ablation.
+	SwitchScale float64
+	// PerCoreGBps overrides the per-core memory-bandwidth cap in the
+	// ground-truth model (0 = keep the system default); used by the
+	// bandwidth ablation.
+	PerCoreGBps float64
+}
+
+// Execute runs one spec.
+func Execute(spec RunSpec) (*rmasim.Result, error) {
+	db := spec.DB
+	needClone := (spec.BaselineFreqIdx >= 0 && spec.BaselineFreqIdx != db.Sys.BaselineFreqIdx) ||
+		spec.SwitchScale > 0 || spec.PerCoreGBps > 0
+	if needClone {
+		// The database contents (profiles) are independent of these
+		// parameters; only the derived model changes, so a shallow copy
+		// with a modified system config is sufficient.
+		clone := *db
+		if spec.BaselineFreqIdx >= 0 {
+			clone.Sys.BaselineFreqIdx = spec.BaselineFreqIdx
+		}
+		if spec.SwitchScale > 0 {
+			sw := &clone.Sys.Switch
+			sw.DVFSTransNs *= spec.SwitchScale
+			sw.CoreResizeNs *= spec.SwitchScale
+			sw.WayMigrateNs *= spec.SwitchScale
+			sw.DVFSTransJ *= spec.SwitchScale
+			sw.CoreResizeJ *= spec.SwitchScale
+			sw.WayMigrateJ *= spec.SwitchScale
+		}
+		if spec.PerCoreGBps > 0 {
+			clone.Sys.Mem.PerCoreGBps = spec.PerCoreGBps
+		}
+		db = &clone
+	}
+	n := db.Sys.NumCores
+	slack := spec.PerCoreSlack
+	if slack == nil && spec.Slack > 0 {
+		slack = make([]float64, n)
+		for i := range slack {
+			slack[i] = spec.Slack
+		}
+	}
+	mgr := core.NewManager(core.Config{
+		Sys:      db.Sys,
+		Power:    power.DefaultParams(db.Sys),
+		Scheme:   spec.Scheme,
+		Model:    spec.Model,
+		Slack:    slack,
+		Feedback: spec.Feedback,
+	})
+	opt := rmasim.DefaultOptions()
+	opt.Oracle = spec.Oracle
+	return rmasim.Run(db, spec.Mix.Apps, mgr, opt)
+}
+
+// ExecuteAll runs the specs concurrently with a bounded worker pool and
+// returns results in input order.
+func ExecuteAll(specs []RunSpec) ([]*rmasim.Result, error) {
+	results := make([]*rmasim.Result, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, spec RunSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = Execute(spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

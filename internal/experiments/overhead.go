@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qosrma/internal/core"
+	"qosrma/internal/power"
+	"qosrma/internal/simdb"
+	"qosrma/internal/trace"
+)
+
+// OverheadProbe is a ready-to-invoke resource manager plus per-core
+// statistics, used by the overhead benchmarks (P1.OV, P2.OV): the paper
+// reports the RMA cost in executed instructions per invocation; we measure
+// wall time per Decide call and relate it to the 100M-instruction interval.
+type OverheadProbe struct {
+	Mgr   *core.Manager
+	Stats []*core.IntervalStats
+}
+
+// NewOverheadProbe builds the probe for a database/scheme pair. The first
+// sweep of Decide calls warms the per-core curves so that benchmark
+// iterations measure the steady-state invocation cost (local optimization +
+// global curve reduction), exactly the path the paper instruments.
+func NewOverheadProbe(db *simdb.DB, scheme core.Scheme, model core.ModelKind) (*OverheadProbe, error) {
+	n := db.Sys.NumCores
+	benches := []string{"mcf", "soplex", "libquantum", "hmmer", "omnetpp", "sphinx3", "lbm", "namd"}
+	mgr := core.NewManager(core.Config{
+		Sys:    db.Sys,
+		Power:  power.DefaultParams(db.Sys),
+		Scheme: scheme,
+		Model:  model,
+	})
+	probe := &OverheadProbe{Mgr: mgr}
+	for i := 0; i < n; i++ {
+		st, err := StatsFor(db, benches[i%len(benches)], 0, i)
+		if err != nil {
+			return nil, err
+		}
+		probe.Stats = append(probe.Stats, st)
+	}
+	for i, st := range probe.Stats {
+		probe.Mgr.Decide(i, st)
+	}
+	return probe, nil
+}
+
+// Invoke performs one steady-state RMA invocation.
+func (p *OverheadProbe) Invoke() {
+	p.Mgr.Decide(0, p.Stats[0])
+}
+
+// StatsFor assembles realistic interval statistics for one benchmark phase
+// at the baseline setting, as the RMA would observe them.
+func StatsFor(db *simdb.DB, bench string, phase, coreID int) (*core.IntervalStats, error) {
+	rec, err := db.Record(bench, phase)
+	if err != nil {
+		return nil, err
+	}
+	setting := db.Sys.BaselineSetting()
+	pt, err := db.Perf(bench, phase, setting)
+	if err != nil {
+		return nil, err
+	}
+	return &core.IntervalStats{
+		Core:          coreID,
+		Setting:       setting,
+		Instr:         trace.SliceInstructions,
+		Cycles:        pt.Cycles,
+		LLCAccesses:   pt.LLCAccesses,
+		BranchMisses:  rec.BranchMPKI * trace.SliceInstructions / 1000,
+		TotalMisses:   pt.Misses,
+		LeadingMisses: pt.Leading,
+		ATDMisses:     rec.SampledMisses,
+		ATDLeading:    rec.SampledLeading,
+	}, nil
+}
+
+// IntervalWallTime returns the wall time of one 100M-instruction interval
+// at the baseline setting for a representative phase, used to express the
+// measured overhead as a fraction of an interval.
+func IntervalWallTime(db *simdb.DB) (float64, error) {
+	pt, err := db.Perf("sphinx3", 0, db.Sys.BaselineSetting())
+	if err != nil {
+		return 0, err
+	}
+	return pt.Seconds, nil
+}
+
+// OverheadReport renders an overhead measurement into a table row set.
+func OverheadReport(title string, rows [][2]string) *Table {
+	t := &Table{Title: title}
+	t.Headers = []string{"configuration", "cost per invocation"}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1])
+	}
+	t.AddNote("The paper reports <40K instructions (~0.04%% of a 100M-instruction interval) " +
+		"for RM2 on 4 cores and 18K/40K/67K instructions for RM3 on 2/4/8 cores.")
+	return t
+}
+
+// FormatSeconds renders a small duration human-readably.
+func FormatSeconds(s float64) string {
+	switch {
+	case s < 1e-6:
+		return fmt.Sprintf("%.0f ns", s*1e9)
+	case s < 1e-3:
+		return fmt.Sprintf("%.1f us", s*1e6)
+	default:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+
+	"qosrma/internal/core"
+	"qosrma/internal/sched"
+	"qosrma/internal/simdb"
+	"qosrma/internal/workload"
+)
+
+// SchedOutcome is one collocation policy's predicted and measured result.
+type SchedOutcome struct {
+	Policy     string
+	Machines   [][]string
+	Predicted  float64 // scheduler's proxy score (mean across machines)
+	Measured   float64 // mean simulated savings across machines
+	Violations int
+}
+
+// RunSchedulerGuidance (EXT.SCHED) validates the thesis' scheduler-guidance
+// proposal: eight applications are split across two 4-core machines either
+// adversarially (similar apps clustered) or by the characteristics-guided
+// collocator, and both assignments are simulated under the coordinated
+// manager.
+func RunSchedulerGuidance(db *simdb.DB, apps []string) ([]SchedOutcome, error) {
+	best, err := sched.Collocate(db, apps, 2)
+	if err != nil {
+		return nil, err
+	}
+	worst, err := sched.WorstCollocation(db, apps, 2)
+	if err != nil {
+		return nil, err
+	}
+	outcomes := []SchedOutcome{
+		{Policy: "adversarial (similar apps clustered)", Machines: worst.Machines, Predicted: worst.Predicted},
+		{Policy: "characteristics-guided", Machines: best.Machines, Predicted: best.Predicted},
+	}
+	for i := range outcomes {
+		var total float64
+		for _, machine := range outcomes[i].Machines {
+			res, err := Execute(RunSpec{
+				DB:     db,
+				Mix:    workload.Mix{Name: "sched", Apps: machine},
+				Scheme: core.SchemeCoordDVFSCache, Model: core.Model2,
+				BaselineFreqIdx: -1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			total += res.EnergySavings
+			outcomes[i].Violations += res.Violations
+		}
+		outcomes[i].Measured = total / float64(len(outcomes[i].Machines))
+	}
+	return outcomes, nil
+}
+
+// SchedTable renders the guidance comparison.
+func SchedTable(rows []SchedOutcome, title string) *Table {
+	t := &Table{Title: title}
+	t.Headers = []string{"policy", "machines", "predicted", "measured", "violations"}
+	for _, r := range rows {
+		parts := make([]string, len(r.Machines))
+		for i, m := range r.Machines {
+			parts[i] = "[" + strings.Join(m, ",") + "]"
+		}
+		t.AddRow(r.Policy, strings.Join(parts, " "), pct(r.Predicted), pct(r.Measured), r.Violations)
+	}
+	return t
+}

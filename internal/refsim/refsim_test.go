@@ -1,0 +1,214 @@
+package refsim
+
+import (
+	"math"
+	"testing"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/cache"
+	"qosrma/internal/timing"
+	"qosrma/internal/trace"
+)
+
+// window generates a sample window for one behaviour.
+func window(bh trace.Behavior, seed uint64) (*trace.Stream, []int16) {
+	s := bh.Generate(seed, trace.SampleParams{Accesses: 20000, WarmupAccesses: 4000})
+	atd := cache.NewATD(1024, 16, 1)
+	for _, a := range s.Warmup {
+		atd.Access(a.Line)
+	}
+	dists := make([]int16, len(s.Measured))
+	for i, a := range s.Measured {
+		dists[i] = int16(atd.Access(a.Line))
+	}
+	return s, dists
+}
+
+func refConfig(bh trace.Behavior, sys arch.SystemConfig, size arch.CoreSize, ways int, stream *trace.Stream) Config {
+	return Config{
+		Core:        sys.Cores[size],
+		FreqGHz:     2.0,
+		MemLatNs:    sys.Mem.LatencyNs,
+		Ways:        ways,
+		IlpIPC:      bh.IlpIPC,
+		BranchMPKI:  bh.BranchMPKI,
+		WindowInstr: stream.WindowInstr,
+	}
+}
+
+// behaviours under test: a pointer chaser, a bursty streamer, and a
+// compute-bound phase.
+var testBehaviors = []trace.Behavior{
+	{Name: "chaser", IlpIPC: 1.6, BranchMPKI: 5, APKI: 20,
+		HotLines: 1800, WarmLines: 4500, PHot: 0.45, PWarm: 0.4,
+		PBurst: 0.15, BurstLen: 3, BurstGap: 25, PDep: 0.75},
+	{Name: "streamer", IlpIPC: 3.2, BranchMPKI: 0.5, APKI: 20,
+		HotLines: 200, PHot: 0.15,
+		PBurst: 0.5, BurstLen: 10, BurstGap: 6, PDep: 0.05},
+	{Name: "compute", IlpIPC: 4.2, BranchMPKI: 2, APKI: 1.5,
+		HotLines: 600, PHot: 0.9,
+		PBurst: 0.2, BurstLen: 4, BurstGap: 15, PDep: 0.2},
+}
+
+// modelCycles evaluates the interval model for one configuration.
+func modelCycles(bh trace.Behavior, sys arch.SystemConfig, size arch.CoreSize, ways int, stream *trace.Stream, dists []int16) float64 {
+	cp := sys.Cores[size]
+	mlp := cache.AnalyzeMLP(stream.Measured, dists, ways, cp.ROB, cp.MSHRs)
+	return timing.Cycles(timing.Inputs{
+		Instr:         stream.WindowInstr,
+		IlpIPC:        bh.IlpIPC,
+		BranchMPKI:    bh.BranchMPKI,
+		LeadingMisses: float64(mlp.LeadingMisses),
+		FreqGHz:       2.0,
+		MemLatNs:      sys.Mem.LatencyNs,
+		Core:          cp,
+	}).Total()
+}
+
+// TestIntervalModelConsistentWithReference validates the closed-form model
+// against the mechanistic reference in the way that matters for the
+// resource manager: every *decision* the manager makes compares two
+// configurations of the same phase, so the model must get configuration
+// RATIOS right. An absolute bias is acceptable — the interval model charges
+// leading misses the full latency while the reference hides part of it
+// behind continued dispatch (ROB run-ahead), a known, consistent
+// overestimate that cancels between candidate and baseline.
+func TestIntervalModelConsistentWithReference(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	for _, bh := range testBehaviors {
+		stream, dists := window(bh, 101)
+		var ratios []float64
+		type config struct {
+			size arch.CoreSize
+			ways int
+		}
+		var configs []config
+		for _, size := range []arch.CoreSize{arch.SizeSmall, arch.SizeMedium, arch.SizeLarge} {
+			for _, ways := range []int{2, 4, 8, 12} {
+				configs = append(configs, config{size, ways})
+			}
+		}
+		for _, c := range configs {
+			cfg := refConfig(bh, sys, c.size, c.ways, stream)
+			ref := Run(cfg, stream.Measured, dists)
+			model := modelCycles(bh, sys, c.size, c.ways, stream, dists)
+			ratios = append(ratios, model/ref.Cycles)
+		}
+		// The bias must be consistent across the configuration space: the
+		// spread of model/reference ratios bounds the error of any
+		// model-based comparison between two configurations.
+		min, max := math.Inf(1), math.Inf(-1)
+		var sum float64
+		for _, r := range ratios {
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+			sum += r
+		}
+		mean := sum / float64(len(ratios))
+		if spread := (max - min) / mean; spread > 0.15 {
+			t.Errorf("%s: model/reference ratio spread %.1f%% (min %.2f max %.2f) — "+
+				"configuration comparisons unreliable", bh.Name, spread*100, min, max)
+		}
+		if mean < 1.0 || mean > 1.45 {
+			t.Errorf("%s: mean model/reference ratio %.2f outside the expected "+
+				"full-latency-vs-run-ahead band [1.0, 1.45]", bh.Name, mean)
+		}
+	}
+}
+
+func TestReferenceMissAccounting(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	bh := testBehaviors[1]
+	stream, dists := window(bh, 202)
+	cfg := refConfig(bh, sys, arch.SizeMedium, 4, stream)
+	ref := Run(cfg, stream.Measured, dists)
+	if want := cache.MissCount(dists, 4); ref.TotalMisses != want {
+		t.Fatalf("reference saw %d misses, stack distances say %d", ref.TotalMisses, want)
+	}
+	if ref.StalledMisses > ref.TotalMisses {
+		t.Fatal("stalled misses exceed total")
+	}
+	if ref.StalledMisses == 0 && ref.TotalMisses > 0 {
+		t.Fatal("no miss ever stalled retirement")
+	}
+}
+
+func TestReferenceMoreWaysNeverSlower(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	for _, bh := range testBehaviors {
+		stream, dists := window(bh, 303)
+		prev := math.Inf(1)
+		for _, ways := range []int{2, 4, 8, 12} {
+			cfg := refConfig(bh, sys, arch.SizeMedium, ways, stream)
+			ref := Run(cfg, stream.Measured, dists)
+			if ref.Cycles > prev*1.001 {
+				t.Fatalf("%s: more ways slowed the reference sim at w=%d", bh.Name, ways)
+			}
+			prev = ref.Cycles
+		}
+	}
+}
+
+func TestReferenceBiggerCoreHelpsStreamer(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	bh := testBehaviors[1] // independent bursty misses
+	stream, dists := window(bh, 404)
+	small := Run(refConfig(bh, sys, arch.SizeSmall, 4, stream), stream.Measured, dists)
+	large := Run(refConfig(bh, sys, arch.SizeLarge, 4, stream), stream.Measured, dists)
+	if large.Cycles >= small.Cycles {
+		t.Fatalf("large core not faster on bursty stream: %v vs %v", large.Cycles, small.Cycles)
+	}
+	if large.StalledMisses >= small.StalledMisses {
+		t.Fatalf("large core did not overlap more misses: %d vs %d",
+			large.StalledMisses, small.StalledMisses)
+	}
+}
+
+func TestReferencePointerChaseInsensitiveToCoreSize(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	bh := testBehaviors[0]
+	stream, dists := window(bh, 505)
+	small := Run(refConfig(bh, sys, arch.SizeSmall, 4, stream), stream.Measured, dists)
+	large := Run(refConfig(bh, sys, arch.SizeLarge, 4, stream), stream.Measured, dists)
+	// Dependent misses serialize; the large core may only win on the
+	// compute component, which is small for this behaviour.
+	if gain := small.Cycles / large.Cycles; gain > 1.35 {
+		t.Fatalf("pointer chase gained %.2fx from core size, want < 1.35x", gain)
+	}
+}
+
+func TestReferenceFrequencyScaling(t *testing.T) {
+	// Memory-bound windows must speed up sublinearly with frequency.
+	sys := arch.DefaultSystemConfig(4)
+	bh := testBehaviors[1]
+	stream, dists := window(bh, 606)
+	cfg := refConfig(bh, sys, arch.SizeMedium, 2, stream)
+	atF2 := Run(cfg, stream.Measured, dists)
+	cfg.FreqGHz = 3.2
+	atF32 := Run(cfg, stream.Measured, dists)
+	t2 := atF2.Cycles / 2.0
+	t32 := atF32.Cycles / 3.2
+	speedup := t2 / t32
+	if speedup > 1.35 {
+		t.Fatalf("memory-bound speedup %.2f from 1.6x frequency, want < 1.35", speedup)
+	}
+	if speedup < 1.0 {
+		t.Fatalf("higher frequency slowed the window: %.2f", speedup)
+	}
+}
+
+func TestReferenceEmptyStream(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	cfg := Config{
+		Core: sys.Cores[arch.SizeMedium], FreqGHz: 2, MemLatNs: 100,
+		Ways: 4, IlpIPC: 2, BranchMPKI: 1, WindowInstr: 1000,
+	}
+	res := Run(cfg, nil, nil)
+	if res.TotalMisses != 0 || res.Cycles <= 0 {
+		t.Fatalf("empty stream result: %+v", res)
+	}
+}

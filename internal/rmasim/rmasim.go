@@ -1,0 +1,441 @@
+// Package rmasim implements the co-phase RMA simulator of the thesis
+// (Chapter 2, Figure 2.2): a global-event-driven proxy simulation of a full
+// multi-programmed execution under the control of a resource-management
+// algorithm. Each application advances through its SimPoint phase trace;
+// the time and energy of every interval at the current resource setting
+// come from the simulation-results database; the RMA is invoked each time a
+// core retires a 100M-instruction interval; reconfiguration overheads are
+// charged when settings change; and applications that finish restart
+// (co-phase methodology) so that contention stays realistic until every
+// application has completed at least one full round, which is the scored
+// portion.
+package rmasim
+
+import (
+	"fmt"
+	"math"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/core"
+	"qosrma/internal/simdb"
+	"qosrma/internal/stats"
+	"qosrma/internal/trace"
+)
+
+// Options controls one simulation run.
+type Options struct {
+	// Oracle: when true the RMA receives perfect statistics — the exact
+	// profiles and true ILP of the *upcoming* interval (the paper's
+	// "perfect models with no prediction error" experiment). When false it
+	// receives the set-sampled profiles of the interval that just ended.
+	Oracle bool
+	// MaxEvents bounds the event loop as a safety net.
+	MaxEvents int
+	// Timeline records every setting change (time-series of allocations,
+	// as in the papers' run-time behaviour figures).
+	Timeline bool
+}
+
+// DefaultOptions returns the standard run configuration.
+func DefaultOptions() Options { return Options{MaxEvents: 2_000_000} }
+
+// AppResult is the scored outcome of one application's first round.
+type AppResult struct {
+	Core  int
+	Bench string
+
+	Time   float64 // seconds to complete the first full round
+	Energy float64 // joules consumed by the core during its first round
+
+	BaselineTime   float64 // same round under the static baseline
+	BaselineEnergy float64
+
+	// ExcessTime is (Time - BaselineTime) / BaselineTime; positive values
+	// mean the application ran slower than the baseline.
+	ExcessTime float64
+	// MeanFreqGHz and MeanWays are the instruction-weighted averages of the
+	// resource allocation the application actually ran with.
+	MeanFreqGHz float64
+	MeanWays    float64
+	// AllowedSlack is the QoS relaxation the RMA was granted for this core.
+	AllowedSlack float64
+}
+
+// Violated reports whether the application's QoS was violated: execution
+// more than 1% slower than the (slack-adjusted) baseline — the thesis
+// counts values below 1% as negligible.
+func (a AppResult) Violated() bool {
+	return a.ExcessTime > a.AllowedSlack+0.01
+}
+
+// Result is the outcome of one workload simulation.
+type Result struct {
+	Scheme string
+	Apps   []AppResult
+
+	// EnergySavings is 1 - sum(app energy) / sum(baseline app energy).
+	EnergySavings float64
+	// Violations is the number of applications with a QoS violation.
+	Violations int
+	// Invocations counts RMA invocations during the run.
+	Invocations int
+
+	// Interval-level QoS audit (Paper II §V): for every completed interval,
+	// the achieved interval time is compared against the same interval's
+	// slack-adjusted baseline time.
+	Intervals          int     // intervals audited
+	IntervalViolations int     // intervals more than 1% beyond the target
+	ViolationMeanPct   float64 // mean violation magnitude (percent, violating intervals)
+	ViolationStdPct    float64 // standard deviation of the magnitude
+
+	// Timeline holds the allocation time-series when Options.Timeline is
+	// set: one event per setting change per core.
+	Timeline []TimelineEvent
+}
+
+// TimelineEvent is one resource-allocation change.
+type TimelineEvent struct {
+	TimeSec float64
+	Core    int
+	Setting arch.Setting
+}
+
+// coreState tracks one application's progress through its phase trace.
+type coreState struct {
+	bench   string
+	phases  []int
+	slice   int     // index into phases
+	rem     float64 // instructions remaining in the current interval
+	stall   float64 // pending reconfiguration stall (seconds)
+	setting arch.Setting
+
+	round      int
+	time       float64 // first-round completion time
+	energy     float64 // energy accumulated during round 0
+	tpi        float64 // current time per instruction
+	epi        float64 // current energy per instruction
+	watts      float64 // current power (for stall energy)
+	firstRound bool    // true while in round 0
+
+	intervalStart float64 // wall time when the current interval began
+	baseTPI       float64 // baseline TPI of the current interval's phase
+
+	// Instruction-weighted allocation usage during round 0.
+	usedInstr float64
+	usedFreq  float64 // sum of freqGHz x instructions
+	usedWays  float64 // sum of ways x instructions
+}
+
+// Run simulates the workload (one benchmark name per core) under the given
+// manager and returns the scored result. The manager must be configured for
+// the same system as the database.
+func Run(db *simdb.DB, workload []string, mgr *core.Manager, opt Options) (*Result, error) {
+	n := db.Sys.NumCores
+	if len(workload) != n {
+		return nil, fmt.Errorf("rmasim: workload has %d apps, system has %d cores", len(workload), n)
+	}
+	if opt.MaxEvents <= 0 {
+		opt.MaxEvents = DefaultOptions().MaxEvents
+	}
+
+	cores := make([]*coreState, n)
+	for i, bench := range workload {
+		tr, err := db.PhaseTrace(bench)
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = &coreState{
+			bench:      bench,
+			phases:     tr,
+			rem:        trace.SliceInstructions,
+			setting:    db.Sys.BaselineSetting(),
+			firstRound: true,
+		}
+		if err := refreshRates(db, cores[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, c := range cores {
+		if err := refreshBaseTPI(db, c); err != nil {
+			return nil, err
+		}
+	}
+
+	var timeline []TimelineEvent
+	record := func(t float64, core int, s arch.Setting) {
+		if opt.Timeline {
+			timeline = append(timeline, TimelineEvent{TimeSec: t, Core: core, Setting: s})
+		}
+	}
+
+	remaining := n // cores still in round 0
+	tNow := 0.0
+	var audit stats.Running
+	auditIntervals, auditViolations := 0, 0
+	for ev := 0; ev < opt.MaxEvents && remaining > 0; ev++ {
+		// Find the earliest interval completion.
+		next := math.Inf(1)
+		for _, c := range cores {
+			if t := c.stall + c.rem*c.tpi; t < next {
+				next = t
+			}
+		}
+		if math.IsInf(next, 1) {
+			return nil, fmt.Errorf("rmasim: no progress possible")
+		}
+
+		// Advance every core by `next` seconds.
+		for _, c := range cores {
+			dt := next
+			if c.stall > 0 {
+				burn := math.Min(c.stall, dt)
+				c.stall -= burn
+				dt -= burn
+				if c.firstRound {
+					c.energy += c.watts * burn // stalled core still leaks
+				}
+			}
+			if dt <= 0 {
+				continue
+			}
+			instr := dt / c.tpi
+			if instr > c.rem {
+				instr = c.rem
+			}
+			c.rem -= instr
+			if c.firstRound {
+				c.energy += instr * c.epi
+				c.usedInstr += instr
+				c.usedFreq += instr * db.Sys.DVFS[c.setting.FreqIdx].FreqGHz
+				c.usedWays += instr * float64(c.setting.Ways)
+			}
+		}
+		tNow += next
+
+		// Handle completions (ties complete together).
+		for coreID, c := range cores {
+			if c.rem > 1e-3 || c.stall > 1e-18 {
+				continue
+			}
+			completed := c.slice
+
+			// Interval-level QoS audit: achieved interval time against the
+			// slack-adjusted baseline of the same interval.
+			auditIntervals++
+			allowed := c.baseTPI * trace.SliceInstructions * (1 + mgr.Slack(coreID))
+			if dt := tNow - c.intervalStart; dt > allowed*1.01 {
+				auditViolations++
+				audit.Add((dt - allowed) / allowed * 100)
+			}
+			c.intervalStart = tNow
+
+			// Advance to the next interval.
+			c.slice++
+			if c.slice == len(c.phases) {
+				if c.firstRound {
+					c.time = tNow
+					c.firstRound = false
+					remaining--
+				}
+				c.round++
+				c.slice = 0
+			}
+			c.rem = trace.SliceInstructions
+
+			// Invoke the RMA with this core's statistics.
+			st, err := gatherStats(db, mgr, coreID, c, completed, opt.Oracle)
+			if err != nil {
+				return nil, err
+			}
+			newSettings, changed := mgr.Decide(coreID, st)
+			if changed {
+				if err := applySettings(db, cores, newSettings, record, tNow); err != nil {
+					return nil, err
+				}
+			}
+			// The completing core entered a new interval (possibly a new
+			// phase); its rates must be refreshed even when its setting is
+			// unchanged.
+			if err := refreshRates(db, c); err != nil {
+				return nil, err
+			}
+			if err := refreshBaseTPI(db, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("rmasim: event budget exhausted with %d apps unfinished", remaining)
+	}
+
+	res, err := score(db, workload, mgr, cores)
+	if err != nil {
+		return nil, err
+	}
+	res.Intervals = auditIntervals
+	res.IntervalViolations = auditViolations
+	res.ViolationMeanPct = audit.Mean()
+	res.ViolationStdPct = audit.StdDev()
+	res.Timeline = timeline
+	return res, nil
+}
+
+// refreshBaseTPI caches the baseline TPI of the core's current interval.
+func refreshBaseTPI(db *simdb.DB, c *coreState) error {
+	pt, err := db.Perf(c.bench, c.phases[c.slice], db.Sys.BaselineSetting())
+	if err != nil {
+		return err
+	}
+	c.baseTPI = pt.TPI
+	return nil
+}
+
+// refreshRates updates a core's TPI/EPI for its current interval + setting.
+func refreshRates(db *simdb.DB, c *coreState) error {
+	phase := c.phases[c.slice]
+	pt, err := db.Perf(c.bench, phase, c.setting)
+	if err != nil {
+		return err
+	}
+	c.tpi = pt.TPI
+	c.epi = pt.EPI
+	if pt.Seconds > 0 {
+		// Power drawn while stalled on a reconfiguration: leakage + uncore.
+		c.watts = (pt.Energy.CoreStat + pt.Energy.Uncore) / pt.Seconds
+	}
+	return nil
+}
+
+// applySettings installs new settings on all cores, charging
+// reconfiguration overheads for every core whose allocation changed.
+func applySettings(db *simdb.DB, cores []*coreState, settings []arch.Setting, record func(float64, int, arch.Setting), tNow float64) error {
+	sw := db.Sys.Switch
+	for i, c := range cores {
+		s := settings[i]
+		old := c.setting
+		if s == old {
+			continue
+		}
+		record(tNow, i, s)
+		var stallNs, extraJ float64
+		if s.FreqIdx != old.FreqIdx {
+			stallNs += sw.DVFSTransNs
+			extraJ += sw.DVFSTransJ
+		}
+		if s.Size != old.Size {
+			stallNs += sw.CoreResizeNs
+			extraJ += sw.CoreResizeJ
+		}
+		if gained := s.Ways - old.Ways; gained > 0 {
+			stallNs += sw.WayMigrateNs * float64(gained)
+			extraJ += sw.WayMigrateJ * float64(gained)
+		}
+		c.stall += stallNs * 1e-9
+		if c.firstRound {
+			c.energy += extraJ
+		}
+		c.setting = s
+		if err := refreshRates(db, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gatherStats assembles the IntervalStats the RMA observes after core
+// `coreID` completed interval `completed`.
+func gatherStats(db *simdb.DB, mgr *core.Manager, coreID int, c *coreState, completed int, oracle bool) (*core.IntervalStats, error) {
+	// Realistic statistics describe the interval that just ended; oracle
+	// statistics describe the upcoming one.
+	sliceIdx := completed
+	if oracle {
+		sliceIdx = c.slice
+	}
+	phase := c.phases[sliceIdx]
+	rec, err := db.Record(c.bench, phase)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := db.Perf(c.bench, phase, c.setting)
+	if err != nil {
+		return nil, err
+	}
+	st := &core.IntervalStats{
+		Core:          coreID,
+		Setting:       c.setting,
+		Instr:         trace.SliceInstructions,
+		Cycles:        pt.Cycles,
+		LLCAccesses:   pt.LLCAccesses,
+		BranchMisses:  rec.BranchMPKI * trace.SliceInstructions / 1000,
+		TotalMisses:   pt.Misses,
+		LeadingMisses: pt.Leading,
+	}
+	if oracle {
+		st.ATDMisses = rec.Misses
+		st.ATDLeading = rec.Leading
+		st.IlpIPC = rec.IlpIPC
+	} else {
+		st.ATDMisses = rec.SampledMisses
+		st.ATDLeading = rec.SampledLeading
+	}
+	return st, nil
+}
+
+// score computes per-app baselines and aggregates the result.
+func score(db *simdb.DB, workload []string, mgr *core.Manager, cores []*coreState) (*Result, error) {
+	res := &Result{
+		Scheme:      mgr.Scheme().String(),
+		Invocations: mgr.Invocations,
+	}
+	var sumE, sumBaseE float64
+	for i, c := range cores {
+		bt, be, err := BaselineRound(db, workload[i])
+		if err != nil {
+			return nil, err
+		}
+		app := AppResult{
+			Core:           i,
+			Bench:          c.bench,
+			Time:           c.time,
+			Energy:         c.energy,
+			BaselineTime:   bt,
+			BaselineEnergy: be,
+			ExcessTime:     (c.time - bt) / bt,
+			AllowedSlack:   mgr.Slack(i),
+		}
+		if c.usedInstr > 0 {
+			app.MeanFreqGHz = c.usedFreq / c.usedInstr
+			app.MeanWays = c.usedWays / c.usedInstr
+		}
+		if app.Violated() {
+			res.Violations++
+		}
+		res.Apps = append(res.Apps, app)
+		sumE += c.energy
+		sumBaseE += be
+	}
+	res.EnergySavings = 1 - sumE/sumBaseE
+	return res, nil
+}
+
+// BaselineRound returns the time and energy of one full round of the
+// benchmark at the static baseline setting. Under strict partitioning the
+// baseline is independent of co-runners, so it can be computed directly
+// from the database.
+func BaselineRound(db *simdb.DB, bench string) (seconds, joules float64, err error) {
+	tr, err := db.PhaseTrace(bench)
+	if err != nil {
+		return 0, 0, err
+	}
+	base := db.Sys.BaselineSetting()
+	for _, phase := range tr {
+		pt, err := db.Perf(bench, phase, base)
+		if err != nil {
+			return 0, 0, err
+		}
+		seconds += pt.Seconds
+		joules += pt.EPI * pt.Instr
+	}
+	return seconds, joules, nil
+}

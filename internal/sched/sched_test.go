@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/simdb"
+	"qosrma/internal/trace"
+)
+
+var (
+	dbOnce sync.Once
+	dbInst *simdb.DB
+	dbErr  error
+)
+
+func testDB(t *testing.T) *simdb.DB {
+	t.Helper()
+	dbOnce.Do(func() {
+		dbInst, dbErr = simdb.Build(arch.DefaultSystemConfig(4), trace.Suite(),
+			simdb.DefaultBuildOptions())
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	return dbInst
+}
+
+// eightApps is 2 MS + 2 CS + 4 CI applications: mixing them across two
+// machines is clearly better than clustering.
+var eightApps = []string{
+	"mcf", "omnetpp", "perlbench", "xalancbmk",
+	"gamess", "hmmer", "namd", "povray",
+}
+
+func TestPredictSavingsFavorsMixedMachine(t *testing.T) {
+	db := testDB(t)
+	mixed, err := PredictSavings(db, []string{"mcf", "omnetpp", "gamess", "hmmer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	homog, err := PredictSavings(db, []string{"gamess", "hmmer", "namd", "povray"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed <= homog {
+		t.Fatalf("mixed machine predicted %.3f, homogeneous %.3f", mixed, homog)
+	}
+	if mixed < 0.05 {
+		t.Fatalf("mixed machine predicted only %.3f", mixed)
+	}
+}
+
+func TestPredictSavingsSizeCheck(t *testing.T) {
+	db := testDB(t)
+	if _, err := PredictSavings(db, []string{"mcf"}); err == nil {
+		t.Fatal("expected size error")
+	}
+	if _, err := PredictSavings(db, []string{"mcf", "nosuch", "hmmer", "namd"}); err == nil {
+		t.Fatal("expected unknown-benchmark error")
+	}
+}
+
+func TestCollocateBeatsWorst(t *testing.T) {
+	db := testDB(t)
+	best, err := Collocate(db, eightApps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := WorstCollocation(db, eightApps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Predicted <= worst.Predicted {
+		t.Fatalf("guided collocation %.3f not above adversarial %.3f",
+			best.Predicted, worst.Predicted)
+	}
+	// Structural validity: every app placed exactly once.
+	seen := map[string]int{}
+	for _, m := range best.Machines {
+		if len(m) != 4 {
+			t.Fatalf("machine with %d apps", len(m))
+		}
+		for _, a := range m {
+			seen[a]++
+		}
+	}
+	for _, a := range eightApps {
+		if seen[a] != 1 {
+			t.Fatalf("app %s placed %d times", a, seen[a])
+		}
+	}
+}
+
+func TestCollocateSingleMachine(t *testing.T) {
+	db := testDB(t)
+	a, err := Collocate(db, []string{"mcf", "omnetpp", "gamess", "hmmer"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Machines) != 1 || a.Predicted <= 0 {
+		t.Fatalf("single machine assignment broken: %+v", a)
+	}
+}
+
+func TestCollocateSizeValidation(t *testing.T) {
+	db := testDB(t)
+	if _, err := Collocate(db, eightApps, 3); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	if _, err := WorstCollocation(db, eightApps, 3); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestWorstCollocationClustersSimilarApps(t *testing.T) {
+	db := testDB(t)
+	worst, err := WorstCollocation(db, eightApps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adversarial grouping puts the cache-hungry apps together: count
+	// how many of the four MS/CS apps share machine 0 or 1 exclusively.
+	sensitive := map[string]bool{"mcf": true, "omnetpp": true, "perlbench": true, "xalancbmk": true}
+	perMachine := make([]int, 2)
+	for m, machine := range worst.Machines {
+		for _, a := range machine {
+			if sensitive[a] {
+				perMachine[m]++
+			}
+		}
+	}
+	if perMachine[0] != 4 && perMachine[1] != 4 {
+		t.Fatalf("adversarial grouping did not cluster: %v", perMachine)
+	}
+}

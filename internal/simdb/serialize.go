@@ -1,0 +1,55 @@
+package simdb
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save serializes the database with gob+gzip.
+func (db *DB) Save(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(db); err != nil {
+		return fmt.Errorf("simdb: encode: %w", err)
+	}
+	return zw.Close()
+}
+
+// Load deserializes a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("simdb: gzip: %w", err)
+	}
+	defer zr.Close()
+	var db DB
+	if err := gob.NewDecoder(zr).Decode(&db); err != nil {
+		return nil, fmt.Errorf("simdb: decode: %w", err)
+	}
+	return &db, nil
+}
+
+// SaveFile writes the database to a file path.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a database from a file path.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,306 @@
+// Package simdb implements the simulation-results database of the thesis
+// methodology (Figure 2.1): detailed simulation is performed once, offline
+// and in parallel, for every (benchmark, phase) pair, and the results are
+// collected in a database that the co-phase RMA simulator queries for every
+// resource setting. Performance and energy for an arbitrary setting
+// (core size, frequency, ways) are derived from the stored per-phase
+// profiles through the interval timing model and the power model.
+package simdb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/cache"
+	"qosrma/internal/power"
+	"qosrma/internal/simpoint"
+	"qosrma/internal/timing"
+	"qosrma/internal/trace"
+)
+
+// PhaseKey identifies one benchmark phase.
+type PhaseKey struct {
+	Bench string
+	Phase int
+}
+
+// PhaseRecord holds the detailed-simulation results for one phase's
+// representative slice, scaled to one 100M-instruction interval.
+type PhaseRecord struct {
+	// Program characteristics exposed through performance counters.
+	IlpIPC     float64
+	BranchMPKI float64
+	APKI       float64 // LLC accesses per kilo-instruction
+
+	// Misses[w]: LLC misses per interval with w ways (exact ATD profile).
+	Misses []float64
+	// SampledMisses[w]: the same profile measured by the set-sampled ATD —
+	// what the resource manager actually observes.
+	SampledMisses []float64
+	// Leading[c][w]: leading (non-overlapped) misses per interval for core
+	// size c and w ways (exact MLP-ATD profile).
+	Leading [][]float64
+	// SampledLeading[c][w]: the noisy observable counterpart.
+	SampledLeading [][]float64
+
+	Weight   float64 // phase weight from SimPoint
+	RepSlice int     // representative slice index
+}
+
+// DB is the simulation-results database for one system configuration.
+type DB struct {
+	Sys      arch.SystemConfig
+	Power    power.Params
+	Phases   map[PhaseKey]*PhaseRecord
+	Analyses map[string]*simpoint.Analysis
+}
+
+// PerfPoint is the outcome of one interval at one setting — the quantity
+// the RMA simulator schedules and accounts with.
+type PerfPoint struct {
+	Instr       float64
+	Cycles      float64
+	Seconds     float64
+	IPS         float64
+	TPI         float64
+	EPI         float64
+	Energy      power.Breakdown
+	Misses      float64
+	Leading     float64
+	LLCAccesses float64
+}
+
+// BuildOptions controls database construction.
+type BuildOptions struct {
+	Sample   trace.SampleParams
+	SimPoint simpoint.Options
+	Workers  int
+}
+
+// DefaultBuildOptions returns the standard build configuration.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		Sample:   trace.DefaultSampleParams(),
+		SimPoint: simpoint.DefaultOptions(),
+		Workers:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// Build runs SimPoint analysis on every benchmark and then detailed
+// simulation of every (benchmark, phase) pair across the configuration
+// space, using a parallel worker pool. The result is deterministic and
+// independent of the worker count.
+func Build(sys arch.SystemConfig, benches []*trace.Benchmark, opt BuildOptions) (*DB, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	db := &DB{
+		Sys:      sys,
+		Power:    power.DefaultParams(sys),
+		Phases:   make(map[PhaseKey]*PhaseRecord),
+		Analyses: make(map[string]*simpoint.Analysis),
+	}
+
+	type job struct {
+		bench *trace.Benchmark
+		an    *simpoint.Analysis
+		phase int
+	}
+	var jobs []job
+	for _, b := range benches {
+		an := simpoint.Analyze(b, opt.SimPoint)
+		db.Analyses[b.Name] = an
+		for p := 0; p < an.NumPhases; p++ {
+			jobs = append(jobs, job{bench: b, an: an, phase: p})
+		}
+	}
+
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, opt.Workers)
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rec := simulatePhase(sys, j.bench, j.an, j.phase, opt.Sample)
+			mu.Lock()
+			db.Phases[PhaseKey{j.bench.Name, j.phase}] = rec
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	return db, nil
+}
+
+// simulatePhase performs the detailed simulation of one phase: it generates
+// the representative slice's sample stream, warms and drives the exact and
+// sampled tag directories, and computes miss and leading-miss profiles for
+// the full configuration space.
+func simulatePhase(sys arch.SystemConfig, b *trace.Benchmark, an *simpoint.Analysis, phase int, sp trace.SampleParams) *PhaseRecord {
+	rep := an.Representative[phase]
+	behavior := b.SliceBehaviorSpec(rep)
+	behaviorIdx := b.SliceBehavior[rep]
+	stream := behavior.Generate(b.StreamSeed(behaviorIdx), sp)
+	scale := stream.ScaleToSlice()
+
+	assoc := sys.LLC.Assoc
+	sets := sys.LLC.Sets
+
+	// Exact ATD pass: warm up, then record per-access stack distances.
+	exact := cache.NewATD(sets, assoc, 1)
+	for _, a := range stream.Warmup {
+		exact.Access(a.Line)
+	}
+	exact.ResetCounters()
+	dists := make([]int16, len(stream.Measured))
+	for i, a := range stream.Measured {
+		dists[i] = int16(exact.Access(a.Line))
+	}
+
+	// Sampled ATD pass (what the RMA hardware observes).
+	sampled := cache.NewATD(sets, assoc, sys.LLC.SampleIn)
+	for _, a := range stream.Warmup {
+		sampled.Access(a.Line)
+	}
+	sampled.ResetCounters()
+	for _, a := range stream.Measured {
+		sampled.Access(a.Line)
+	}
+
+	rec := &PhaseRecord{
+		IlpIPC:         behavior.IlpIPC,
+		BranchMPKI:     behavior.BranchMPKI,
+		APKI:           float64(len(stream.Measured)) / stream.WindowInstr * 1000,
+		Misses:         make([]float64, assoc+1),
+		SampledMisses:  make([]float64, assoc+1),
+		Leading:        make([][]float64, arch.NumCoreSizes),
+		SampledLeading: make([][]float64, arch.NumCoreSizes),
+		Weight:         an.Weight[phase],
+		RepSlice:       rep,
+	}
+	for w := 0; w <= assoc; w++ {
+		rec.Misses[w] = float64(cache.MissCount(dists, w)) * scale
+		rec.SampledMisses[w] = sampled.Misses(w) * scale
+	}
+
+	// MLP-ATD profiles per core size. The sampled variant scales the exact
+	// leading-miss count by the sampled/exact miss ratio: the hardware
+	// measures overlap on sampled sets, so its MLP estimate inherits the
+	// set-sampling noise of the miss counts.
+	for c := 0; c < arch.NumCoreSizes; c++ {
+		cp := sys.Cores[c]
+		rec.Leading[c] = make([]float64, assoc+1)
+		rec.SampledLeading[c] = make([]float64, assoc+1)
+		for w := 0; w <= assoc; w++ {
+			r := cache.AnalyzeMLP(stream.Measured, dists, w, cp.ROB, cp.MSHRs)
+			lead := float64(r.LeadingMisses) * scale
+			rec.Leading[c][w] = lead
+			exactM := rec.Misses[w]
+			if exactM > 0 {
+				rec.SampledLeading[c][w] = lead * rec.SampledMisses[w] / exactM
+			}
+		}
+	}
+	return rec
+}
+
+// Record returns the phase record, or an error naming the missing key.
+func (db *DB) Record(bench string, phase int) (*PhaseRecord, error) {
+	rec, ok := db.Phases[PhaseKey{bench, phase}]
+	if !ok {
+		return nil, fmt.Errorf("simdb: no record for %s phase %d", bench, phase)
+	}
+	return rec, nil
+}
+
+// Perf evaluates the detailed model for one interval of the given phase at
+// the given setting. This is the ground truth the RMA simulator uses.
+func (db *DB) Perf(bench string, phase int, s arch.Setting) (PerfPoint, error) {
+	rec, err := db.Record(bench, phase)
+	if err != nil {
+		return PerfPoint{}, err
+	}
+	return db.perfFromRecord(rec, s), nil
+}
+
+// perfFromRecord computes performance and energy from a phase record.
+func (db *DB) perfFromRecord(rec *PhaseRecord, s arch.Setting) PerfPoint {
+	const instr = float64(trace.SliceInstructions)
+	w := s.Ways
+	if w < 0 {
+		w = 0
+	}
+	if w >= len(rec.Misses) {
+		w = len(rec.Misses) - 1
+	}
+	op := db.Sys.DVFS[s.FreqIdx]
+	cp := db.Sys.Cores[s.Size]
+
+	in := timing.Inputs{
+		Instr:         instr,
+		IlpIPC:        rec.IlpIPC,
+		BranchMPKI:    rec.BranchMPKI,
+		LeadingMisses: rec.Leading[s.Size][w],
+		FreqGHz:       op.FreqGHz,
+		MemLatNs:      db.Sys.Mem.LatencyNs,
+		Core:          cp,
+	}
+	cycles := timing.Cycles(in).Total()
+	secs := timing.Seconds(cycles, op.FreqGHz)
+	if cap := db.Sys.Mem.PerCoreGBps; cap > 0 {
+		// Bandwidth-partitioned memory controller: one refinement step of
+		// the demand/latency fixed point is ample at interval granularity.
+		demand := rec.Misses[w] * float64(db.Sys.LLC.LineB) / secs
+		in.MemLatNs = timing.BandwidthLatency(db.Sys.Mem.LatencyNs, demand, cap*1e9)
+		cycles = timing.Cycles(in).Total()
+		secs = timing.Seconds(cycles, op.FreqGHz)
+	}
+	act := power.Activity{
+		Instr:       instr,
+		Seconds:     secs,
+		LLCAccesses: rec.APKI * instr / 1000,
+		DRAMAcc:     rec.Misses[w],
+		Core:        cp,
+		Op:          op,
+	}
+	eb := power.Energy(db.Power, act)
+	return PerfPoint{
+		Instr:       instr,
+		Cycles:      cycles,
+		Seconds:     secs,
+		IPS:         instr / secs,
+		TPI:         secs / instr,
+		EPI:         eb.Total() / instr,
+		Energy:      eb,
+		Misses:      rec.Misses[w],
+		Leading:     rec.Leading[s.Size][w],
+		LLCAccesses: act.LLCAccesses,
+	}
+}
+
+// PhaseTrace returns the phase sequence of the benchmark's full execution.
+func (db *DB) PhaseTrace(bench string) ([]int, error) {
+	an, ok := db.Analyses[bench]
+	if !ok {
+		return nil, fmt.Errorf("simdb: no analysis for %s", bench)
+	}
+	return an.PhaseTrace, nil
+}
+
+// NumPhases returns the number of phases for the benchmark.
+func (db *DB) NumPhases(bench string) int {
+	an, ok := db.Analyses[bench]
+	if !ok {
+		return 0
+	}
+	return an.NumPhases
+}

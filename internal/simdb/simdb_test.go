@@ -1,0 +1,296 @@
+package simdb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/simpoint"
+	"qosrma/internal/trace"
+)
+
+// testDB builds a small database over a few benchmarks once per test run.
+var cachedDB *DB
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	if cachedDB != nil {
+		return cachedDB
+	}
+	sys := arch.DefaultSystemConfig(4)
+	benches := []*trace.Benchmark{
+		trace.ByName("mcf"), trace.ByName("libquantum"),
+		trace.ByName("hmmer"), trace.ByName("gcc"),
+	}
+	opt := DefaultBuildOptions()
+	opt.Sample = trace.SampleParams{Accesses: 20000, WarmupAccesses: 6000}
+	db, err := Build(sys, benches, opt)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cachedDB = db
+	return db
+}
+
+func TestBuildCoversAllPhases(t *testing.T) {
+	db := testDB(t)
+	for name, an := range db.Analyses {
+		for p := 0; p < an.NumPhases; p++ {
+			rec, err := db.Record(name, p)
+			if err != nil {
+				t.Fatalf("missing record: %v", err)
+			}
+			if len(rec.Misses) != db.Sys.LLC.Assoc+1 {
+				t.Fatalf("%s/%d: profile length %d", name, p, len(rec.Misses))
+			}
+		}
+	}
+}
+
+func TestMissProfilesMonotone(t *testing.T) {
+	db := testDB(t)
+	for key, rec := range db.Phases {
+		for w := 1; w < len(rec.Misses); w++ {
+			if rec.Misses[w] > rec.Misses[w-1]+1e-9 {
+				t.Fatalf("%v: exact misses increase at w=%d", key, w)
+			}
+		}
+		for c := range rec.Leading {
+			for w := 1; w < len(rec.Leading[c]); w++ {
+				if rec.Leading[c][w] > rec.Leading[c][w-1]+1e-9 {
+					t.Fatalf("%v: leading misses increase at c=%d w=%d", key, c, w)
+				}
+			}
+		}
+	}
+}
+
+func TestLeadingBelowTotalMisses(t *testing.T) {
+	db := testDB(t)
+	for key, rec := range db.Phases {
+		for c := range rec.Leading {
+			for w := range rec.Leading[c] {
+				if rec.Leading[c][w] > rec.Misses[w]+1e-9 {
+					t.Fatalf("%v: leading > total at c=%d w=%d", key, c, w)
+				}
+			}
+		}
+	}
+}
+
+func TestLargerCoreNeverMoreLeadingMisses(t *testing.T) {
+	db := testDB(t)
+	for key, rec := range db.Phases {
+		for w := range rec.Misses {
+			small := rec.Leading[arch.SizeSmall][w]
+			large := rec.Leading[arch.SizeLarge][w]
+			if large > small+1e-9 {
+				t.Fatalf("%v w=%d: large core has more leading misses (%v > %v)",
+					key, w, large, small)
+			}
+		}
+	}
+}
+
+func TestMcfIsCacheSensitiveLibquantumIsNot(t *testing.T) {
+	db := testDB(t)
+	mpki := func(bench string, w int) float64 {
+		rec, err := db.Record(bench, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Misses[w] / (trace.SliceInstructions / 1000)
+	}
+	// mcf must lose a large relative share of its misses from 2 to 12 ways.
+	if rel := (mpki("mcf", 2) - mpki("mcf", 12)) / mpki("mcf", 2); rel < 0.25 {
+		t.Errorf("mcf relative MPKI drop = %.2f, want > 0.25 (cache sensitive)", rel)
+	}
+	// libquantum must stay roughly flat in relative terms.
+	if rel := (mpki("libquantum", 2) - mpki("libquantum", 12)) / mpki("libquantum", 2); rel > 0.10 {
+		t.Errorf("libquantum relative MPKI drop = %.2f, want < 0.10 (cache insensitive)", rel)
+	}
+}
+
+func TestPerfBasics(t *testing.T) {
+	db := testDB(t)
+	s := db.Sys.BaselineSetting()
+	pt, err := db.Perf("mcf", 0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.IPS <= 0 || pt.TPI <= 0 || pt.EPI <= 0 {
+		t.Fatalf("degenerate perf point: %+v", pt)
+	}
+	if math.Abs(pt.IPS*pt.TPI-1) > 1e-9 {
+		t.Fatal("IPS and TPI inconsistent")
+	}
+	if math.Abs(pt.Seconds-pt.TPI*pt.Instr) > 1e-9 {
+		t.Fatal("Seconds inconsistent with TPI")
+	}
+}
+
+func TestPerfFrequencyMonotone(t *testing.T) {
+	db := testDB(t)
+	s := db.Sys.BaselineSetting()
+	var prev float64
+	for fi := range db.Sys.DVFS {
+		s.FreqIdx = fi
+		pt, err := db.Perf("gcc", 0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.IPS < prev-1e-6 {
+			t.Fatalf("IPS decreased with frequency at idx %d", fi)
+		}
+		prev = pt.IPS
+	}
+}
+
+func TestPerfWaysHelpCacheSensitiveApp(t *testing.T) {
+	db := testDB(t)
+	s := db.Sys.BaselineSetting()
+	s.Ways = 2
+	lo, _ := db.Perf("mcf", 0, s)
+	s.Ways = 12
+	hi, _ := db.Perf("mcf", 0, s)
+	if hi.IPS <= lo.IPS {
+		t.Fatalf("more ways did not help mcf: %v vs %v", hi.IPS, lo.IPS)
+	}
+	if hi.Energy.DRAM >= lo.Energy.DRAM {
+		t.Fatal("more ways did not cut DRAM energy for mcf")
+	}
+}
+
+func TestPerfUnknownBench(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Perf("nosuch", 0, db.Sys.BaselineSetting()); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+	if _, err := db.PhaseTrace("nosuch"); err == nil {
+		t.Fatal("expected error for unknown trace")
+	}
+	if db.NumPhases("nosuch") != 0 {
+		t.Fatal("NumPhases for unknown should be 0")
+	}
+}
+
+func TestSampledProfilesApproximateExact(t *testing.T) {
+	db := testDB(t)
+	for key, rec := range db.Phases {
+		// Compare at the baseline allocation; sampling noise must be
+		// bounded for the heavy-traffic phases that matter.
+		w := db.Sys.BaselineWays()
+		if rec.Misses[w] < 1e5 {
+			continue // tiny counts are allowed to be noisy
+		}
+		rel := math.Abs(rec.SampledMisses[w]-rec.Misses[w]) / rec.Misses[w]
+		if rel > 0.25 {
+			t.Errorf("%v: sampled profile off by %.1f%%", key, rel*100)
+		}
+	}
+}
+
+func TestWeightsConsistentWithAnalyses(t *testing.T) {
+	db := testDB(t)
+	for name, an := range db.Analyses {
+		var sum float64
+		for p := 0; p < an.NumPhases; p++ {
+			rec, err := db.Record(name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += rec.Weight
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: phase weights sum to %v", name, sum)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := testDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(db2.Phases) != len(db.Phases) {
+		t.Fatalf("phase count %d != %d", len(db2.Phases), len(db.Phases))
+	}
+	s := db.Sys.BaselineSetting()
+	p1, _ := db.Perf("mcf", 0, s)
+	p2, err := db2.Perf("mcf", 0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.EPI != p2.EPI || p1.TPI != p2.TPI {
+		t.Fatal("round-tripped database disagrees")
+	}
+}
+
+func TestBuildDeterministicAcrossWorkerCounts(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	benches := []*trace.Benchmark{trace.ByName("bzip2")}
+	opt := DefaultBuildOptions()
+	opt.Sample = trace.SampleParams{Accesses: 5000, WarmupAccesses: 1000}
+	opt.Workers = 1
+	db1, err := Build(sys, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	db8, err := Build(sys, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, r1 := range db1.Phases {
+		r8 := db8.Phases[key]
+		if r8 == nil {
+			t.Fatalf("missing %v in 8-worker build", key)
+		}
+		for w := range r1.Misses {
+			if r1.Misses[w] != r8.Misses[w] {
+				t.Fatalf("%v: miss profile differs at w=%d", key, w)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsInvalidSystem(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	sys.LLC.Assoc = 7 // not divisible by 4 cores
+	_, err := Build(sys, []*trace.Benchmark{trace.ByName("lbm")}, DefaultBuildOptions())
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestPerfClampsWays(t *testing.T) {
+	db := testDB(t)
+	s := db.Sys.BaselineSetting()
+	s.Ways = 999
+	if _, err := db.Perf("mcf", 0, s); err != nil {
+		t.Fatalf("way clamping failed: %v", err)
+	}
+	s.Ways = -1
+	if _, err := db.Perf("mcf", 0, s); err != nil {
+		t.Fatalf("negative ways should clamp: %v", err)
+	}
+}
+
+func TestPhaseTraceMatchesSimpoint(t *testing.T) {
+	db := testDB(t)
+	b := trace.ByName("gcc")
+	an := simpoint.Analyze(b, DefaultBuildOptions().SimPoint)
+	tr, err := db.PhaseTrace("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != len(an.PhaseTrace) {
+		t.Fatalf("trace length %d != %d", len(tr), len(an.PhaseTrace))
+	}
+}

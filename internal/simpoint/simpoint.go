@@ -1,0 +1,292 @@
+// Package simpoint reimplements the SimPoint phase-analysis methodology
+// (Sherwood et al., ASPLOS 2002) used in the thesis' simulation framework:
+// a program's instruction stream is divided into fixed-size slices, each
+// slice is summarized by a basic-block-vector-like signature, the slices are
+// clustered with k-means, and one representative slice per cluster ("phase")
+// is selected for detailed simulation. The analysis also emits per-phase
+// weights and the phase trace — the sequence of phases the full execution
+// visits — which drives the co-phase RMA simulator.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+
+	"qosrma/internal/stats"
+	"qosrma/internal/trace"
+)
+
+// Analysis is the result of running SimPoint on one benchmark.
+type Analysis struct {
+	Bench     *trace.Benchmark
+	NumPhases int
+	// Representative[p] is the slice index chosen to represent phase p.
+	Representative []int
+	// Weight[p] is the fraction of slices belonging to phase p.
+	Weight []float64
+	// PhaseTrace[i] is the phase id of slice i.
+	PhaseTrace []int
+}
+
+// Options controls the clustering.
+type Options struct {
+	MaxPhases  int    // upper bound on k (SimPoint's maxK)
+	Iterations int    // k-means iterations per k
+	Seed       uint64 // base seed for k-means++ initialization
+	// BICThreshold selects the smallest k whose BIC score reaches this
+	// fraction of the best score over all k (SimPoint default 0.9).
+	BICThreshold float64
+}
+
+// DefaultOptions returns the settings used by the experimental methodology.
+func DefaultOptions() Options {
+	return Options{MaxPhases: 8, Iterations: 40, Seed: 0x51309, BICThreshold: 0.9}
+}
+
+// Analyze clusters the benchmark's slices into phases.
+func Analyze(b *trace.Benchmark, opt Options) *Analysis {
+	n := b.NumSlices()
+	if n == 0 {
+		panic("simpoint: benchmark has no slices")
+	}
+	if opt.MaxPhases < 1 {
+		opt.MaxPhases = 1
+	}
+	if opt.MaxPhases > n {
+		opt.MaxPhases = n
+	}
+	if opt.Iterations < 1 {
+		opt.Iterations = 1
+	}
+	if opt.BICThreshold <= 0 || opt.BICThreshold > 1 {
+		opt.BICThreshold = 0.9
+	}
+
+	points := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		sig := b.SliceSignature(i)
+		points[i] = sig[:]
+	}
+
+	type kResult struct {
+		assign []int
+		cents  [][]float64
+		bic    float64
+	}
+	results := make([]kResult, 0, opt.MaxPhases)
+	best := math.Inf(-1)
+	for k := 1; k <= opt.MaxPhases; k++ {
+		seed := stats.SeedFrom(opt.Seed, fmt.Sprintf("%s/k=%d", b.Name, k))
+		assign, cents := kmeans(points, k, opt.Iterations, seed)
+		bic := bicScore(points, assign, cents)
+		results = append(results, kResult{assign, cents, bic})
+		if bic > best {
+			best = bic
+		}
+	}
+	chosen := results[len(results)-1]
+	for _, r := range results {
+		if r.bic >= opt.BICThreshold*best || (best < 0 && r.bic >= best/opt.BICThreshold) {
+			chosen = r
+			break
+		}
+	}
+
+	k := len(chosen.cents)
+	an := &Analysis{
+		Bench:          b,
+		NumPhases:      k,
+		Representative: make([]int, k),
+		Weight:         make([]float64, k),
+		PhaseTrace:     chosen.assign,
+	}
+	// Representative: slice nearest to its cluster centroid.
+	bestDist := make([]float64, k)
+	for p := range bestDist {
+		bestDist[p] = math.Inf(1)
+		an.Representative[p] = -1
+	}
+	counts := make([]int, k)
+	for i, p := range chosen.assign {
+		counts[p]++
+		d := sqDist(points[i], chosen.cents[p])
+		if d < bestDist[p] {
+			bestDist[p] = d
+			an.Representative[p] = i
+		}
+	}
+	for p := 0; p < k; p++ {
+		an.Weight[p] = float64(counts[p]) / float64(n)
+		if an.Representative[p] < 0 {
+			// Empty cluster (possible when k exceeds natural structure):
+			// collapse onto phase 0's representative with zero weight.
+			an.Representative[p] = an.Representative[0]
+		}
+	}
+	return an
+}
+
+// kmeans runs k-means++ initialization followed by Lloyd iterations.
+func kmeans(points [][]float64, k, iters int, seed uint64) (assign []int, cents [][]float64) {
+	n := len(points)
+	dim := len(points[0])
+	rng := stats.NewRNG(seed)
+
+	// k-means++ seeding.
+	cents = make([][]float64, 0, k)
+	first := rng.Intn(n)
+	cents = append(cents, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(cents) < k {
+		var total float64
+		for i, p := range points {
+			d := sqDist(p, cents[0])
+			for _, c := range cents[1:] {
+				if dd := sqDist(p, c); dd < d {
+					d = dd
+				}
+			}
+			d2[i] = d
+			total += d
+		}
+		var next int
+		if total <= 0 {
+			next = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		cents = append(cents, append([]float64(nil), points[next]...))
+	}
+
+	assign = make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			best, bd := 0, math.Inf(1)
+			for c := range cents {
+				if d := sqDist(p, cents[c]); d < bd {
+					best, bd = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		for c := range cents {
+			for j := range cents[c] {
+				cents[c][j] = 0
+			}
+		}
+		counts := make([]int, k)
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j := 0; j < dim; j++ {
+				cents[c][j] += p[j]
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				continue // leave empty centroid in place
+			}
+			for j := range cents[c] {
+				cents[c][j] /= float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign, cents
+}
+
+// bicScore computes a Bayesian-information-criterion-style score for a
+// clustering (higher is better), following the X-means formulation SimPoint
+// uses for model selection.
+func bicScore(points [][]float64, assign []int, cents [][]float64) float64 {
+	n := len(points)
+	k := len(cents)
+	dim := len(points[0])
+	if n <= k {
+		return math.Inf(-1)
+	}
+	// Pooled variance estimate.
+	var ss float64
+	for i, p := range points {
+		ss += sqDist(p, cents[assign[i]])
+	}
+	variance := ss / float64(n-k)
+	if variance <= 0 {
+		variance = 1e-12
+	}
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
+	var loglik float64
+	for _, rn := range counts {
+		if rn == 0 {
+			continue
+		}
+		rnf := float64(rn)
+		loglik += rnf*math.Log(rnf/float64(n)) -
+			rnf*float64(dim)/2*math.Log(2*math.Pi*variance) -
+			(rnf-1)/2
+	}
+	params := float64(k) * (float64(dim) + 1)
+	return loglik - params/2*math.Log(float64(n))
+}
+
+func sqDist(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return d
+}
+
+// PhaseOfSlice returns the phase id for slice i.
+func (a *Analysis) PhaseOfSlice(i int) int { return a.PhaseTrace[i] }
+
+// Purity measures how well the recovered phases match the generative
+// ground-truth behaviours (fraction of slices whose cluster's majority
+// behaviour equals their own behaviour). Used by tests; the algorithms
+// under study never see ground truth.
+func (a *Analysis) Purity() float64 {
+	// majority behaviour per cluster
+	counts := make([]map[int]int, a.NumPhases)
+	for i := range counts {
+		counts[i] = make(map[int]int)
+	}
+	for i, p := range a.PhaseTrace {
+		counts[p][a.Bench.SliceBehavior[i]]++
+	}
+	majority := make([]int, a.NumPhases)
+	for p, m := range counts {
+		best, bestN := -1, -1
+		for b, n := range m {
+			if n > bestN {
+				best, bestN = b, n
+			}
+		}
+		majority[p] = best
+	}
+	correct := 0
+	for i, p := range a.PhaseTrace {
+		if a.Bench.SliceBehavior[i] == majority[p] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(a.PhaseTrace))
+}

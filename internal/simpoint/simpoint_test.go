@@ -1,0 +1,112 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"qosrma/internal/trace"
+)
+
+func TestAnalyzeRecoversPhases(t *testing.T) {
+	for _, name := range []string{"gcc", "mcf", "lbm", "perlbench"} {
+		b := trace.ByName(name)
+		an := Analyze(b, DefaultOptions())
+		if an.NumPhases < 1 || an.NumPhases > DefaultOptions().MaxPhases {
+			t.Fatalf("%s: phases = %d", name, an.NumPhases)
+		}
+		if p := an.Purity(); p < 0.95 {
+			t.Errorf("%s: clustering purity %.3f < 0.95 (phases=%d, truth=%d)",
+				name, p, an.NumPhases, len(b.Behaviors))
+		}
+	}
+}
+
+func TestAnalyzeSinglePhaseProgram(t *testing.T) {
+	b := trace.ByName("lbm") // one behaviour
+	an := Analyze(b, DefaultOptions())
+	if an.NumPhases != 1 {
+		t.Fatalf("lbm phases = %d, want 1 (single-behaviour program)", an.NumPhases)
+	}
+	if an.Weight[0] != 1 {
+		t.Fatalf("weight = %v, want 1", an.Weight[0])
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	for _, b := range trace.Suite() {
+		an := Analyze(b, DefaultOptions())
+		var sum float64
+		for _, w := range an.Weight {
+			if w < 0 {
+				t.Fatalf("%s: negative weight", b.Name)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: weights sum to %v", b.Name, sum)
+		}
+	}
+}
+
+func TestPhaseTraceCoversAllSlices(t *testing.T) {
+	b := trace.ByName("gcc")
+	an := Analyze(b, DefaultOptions())
+	if len(an.PhaseTrace) != b.NumSlices() {
+		t.Fatalf("trace length %d != slices %d", len(an.PhaseTrace), b.NumSlices())
+	}
+	for i, p := range an.PhaseTrace {
+		if p < 0 || p >= an.NumPhases {
+			t.Fatalf("slice %d assigned to phase %d of %d", i, p, an.NumPhases)
+		}
+	}
+}
+
+func TestRepresentativeBelongsToPhase(t *testing.T) {
+	for _, name := range []string{"gcc", "soplex", "mcf"} {
+		b := trace.ByName(name)
+		an := Analyze(b, DefaultOptions())
+		for p := 0; p < an.NumPhases; p++ {
+			if an.Weight[p] == 0 {
+				continue
+			}
+			rep := an.Representative[p]
+			if rep < 0 || rep >= b.NumSlices() {
+				t.Fatalf("%s: representative %d out of range", name, rep)
+			}
+			if an.PhaseTrace[rep] != p {
+				t.Fatalf("%s: representative %d of phase %d belongs to phase %d",
+					name, rep, p, an.PhaseTrace[rep])
+			}
+		}
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	b := trace.ByName("bzip2")
+	a1 := Analyze(b, DefaultOptions())
+	a2 := Analyze(b, DefaultOptions())
+	if a1.NumPhases != a2.NumPhases {
+		t.Fatal("phase count differs between runs")
+	}
+	for i := range a1.PhaseTrace {
+		if a1.PhaseTrace[i] != a2.PhaseTrace[i] {
+			t.Fatalf("phase trace differs at slice %d", i)
+		}
+	}
+}
+
+func TestOptionsClamping(t *testing.T) {
+	b := trace.ByName("lbm")
+	an := Analyze(b, Options{MaxPhases: 0, Iterations: 0, Seed: 1, BICThreshold: 5})
+	if an.NumPhases != 1 {
+		t.Fatalf("clamped analysis produced %d phases", an.NumPhases)
+	}
+}
+
+func TestPhaseOfSlice(t *testing.T) {
+	b := trace.ByName("gcc")
+	an := Analyze(b, DefaultOptions())
+	if an.PhaseOfSlice(0) != an.PhaseTrace[0] {
+		t.Fatal("PhaseOfSlice mismatch")
+	}
+}

@@ -1,0 +1,219 @@
+package trace
+
+import "qosrma/internal/stats"
+
+// Suite returns the 20-application synthetic benchmark suite modeled after
+// SPEC CPU2006. Names follow the SPEC programs whose published behaviour
+// each model imitates; all parameters are synthetic.
+//
+// Category intent (verified empirically by internal/workload, which
+// categorizes from measurements exactly as the paper does):
+//
+//	memory-intensive + cache-sensitive:   mcf, omnetpp, soplex, sphinx3, xalancbmk
+//	memory-intensive + cache-insensitive: libquantum, lbm, milc, bwaves, leslie3d
+//	compute-intensive + cache-sensitive:  bzip2, astar, h264ref, gcc
+//	compute-intensive + cache-insensitive: hmmer, namd, povray, sjeng, gamess, perlbench
+//
+// Parallelism-sensitive (bursty, mostly independent misses): soplex,
+// sphinx3, libquantum, lbm, milc, bwaves, leslie3d, gcc. Parallelism-
+// insensitive: the pointer chasers (mcf, omnetpp, xalancbmk, astar) and the
+// compute-bound programs.
+func Suite() []*Benchmark {
+	var suite []*Benchmark
+	add := func(name string, slices []int, behaviors ...Behavior) {
+		suite = append(suite, &Benchmark{
+			Name:          name,
+			Seed:          stats.SeedFrom(0x51_2006, name),
+			Behaviors:     behaviors,
+			SliceBehavior: slices,
+		})
+	}
+
+	// ---- memory-intensive, cache-sensitive, parallelism-insensitive ----
+
+	add("mcf",
+		segments([2]int{0, 120}, [2]int{1, 260}, [2]int{0, 90}, [2]int{1, 210}),
+		Behavior{Name: "mcf/assign", IlpIPC: 1.4, BranchMPKI: 6.5, APKI: 28,
+			HotLines: 1800, WarmLines: 4200, PHot: 0.44, PWarm: 0.44,
+			PBurst: 0.15, BurstLen: 3, BurstGap: 30, PDep: 0.80},
+		Behavior{Name: "mcf/simplex", IlpIPC: 1.6, BranchMPKI: 5.0, APKI: 22,
+			HotLines: 1500, WarmLines: 3600, PHot: 0.46, PWarm: 0.42,
+			PBurst: 0.18, BurstLen: 3, BurstGap: 25, PDep: 0.75})
+
+	add("omnetpp",
+		segments([2]int{0, 420}, [2]int{1, 80}, [2]int{0, 300}),
+		Behavior{Name: "omnetpp/sim", IlpIPC: 1.8, BranchMPKI: 6.0, APKI: 16,
+			HotLines: 1600, WarmLines: 3800, PHot: 0.45, PWarm: 0.43,
+			PBurst: 0.12, BurstLen: 3, BurstGap: 28, PDep: 0.70},
+		Behavior{Name: "omnetpp/stats", IlpIPC: 2.4, BranchMPKI: 3.0, APKI: 7,
+			HotLines: 1200, WarmLines: 3000, PHot: 0.60, PWarm: 0.25,
+			PBurst: 0.10, BurstLen: 3, BurstGap: 30, PDep: 0.55})
+
+	// ---- memory-intensive, cache-sensitive, parallelism-sensitive ----
+
+	add("soplex",
+		segments([2]int{0, 260}, [2]int{1, 160}, [2]int{0, 220}),
+		Behavior{Name: "soplex/price", IlpIPC: 2.2, BranchMPKI: 2.2, APKI: 18,
+			HotLines: 1400, WarmLines: 4000, PHot: 0.40, PWarm: 0.48,
+			PBurst: 0.35, BurstLen: 8, BurstGap: 8, PDep: 0.12},
+		Behavior{Name: "soplex/factor", IlpIPC: 2.8, BranchMPKI: 1.4, APKI: 11,
+			HotLines: 1200, WarmLines: 3200, PHot: 0.44, PWarm: 0.44,
+			PBurst: 0.40, BurstLen: 9, BurstGap: 7, PDep: 0.10})
+
+	add("sphinx3",
+		segments([2]int{0, 520}, [2]int{1, 140}, [2]int{0, 340}),
+		Behavior{Name: "sphinx3/gauss", IlpIPC: 2.6, BranchMPKI: 3.2, APKI: 11,
+			HotLines: 1100, WarmLines: 3800, PHot: 0.45, PWarm: 0.43,
+			PBurst: 0.30, BurstLen: 7, BurstGap: 10, PDep: 0.15},
+		Behavior{Name: "sphinx3/search", IlpIPC: 2.1, BranchMPKI: 4.5, APKI: 8,
+			HotLines: 1000, WarmLines: 3600, PHot: 0.52, PWarm: 0.36,
+			PBurst: 0.25, BurstLen: 6, BurstGap: 12, PDep: 0.22})
+
+	add("xalancbmk",
+		segments([2]int{0, 380}, [2]int{1, 120}, [2]int{0, 240}),
+		Behavior{Name: "xalan/tmpl", IlpIPC: 2.0, BranchMPKI: 5.2, APKI: 12,
+			HotLines: 1300, WarmLines: 3400, PHot: 0.50, PWarm: 0.38,
+			PBurst: 0.12, BurstLen: 3, BurstGap: 26, PDep: 0.65},
+		Behavior{Name: "xalan/parse", IlpIPC: 2.3, BranchMPKI: 4.0, APKI: 8,
+			HotLines: 1000, WarmLines: 3500, PHot: 0.58, PWarm: 0.32,
+			PBurst: 0.10, BurstLen: 3, BurstGap: 30, PDep: 0.60})
+
+	// ---- memory-intensive, cache-insensitive, parallelism-sensitive ----
+
+	add("libquantum",
+		segments([2]int{0, 680}, [2]int{1, 140}),
+		Behavior{Name: "libq/gate", IlpIPC: 3.0, BranchMPKI: 0.5, APKI: 26,
+			HotLines: 200, WarmLines: 0, PHot: 0.12, PWarm: 0,
+			PBurst: 0.50, BurstLen: 12, BurstGap: 5, PDep: 0.03},
+		Behavior{Name: "libq/toffoli", IlpIPC: 3.3, BranchMPKI: 0.4, APKI: 21,
+			HotLines: 160, WarmLines: 0, PHot: 0.14, PWarm: 0,
+			PBurst: 0.55, BurstLen: 13, BurstGap: 5, PDep: 0.03})
+
+	add("lbm",
+		segments([2]int{0, 760}),
+		Behavior{Name: "lbm/stream", IlpIPC: 3.4, BranchMPKI: 0.3, APKI: 22,
+			HotLines: 150, WarmLines: 0, PHot: 0.15, PWarm: 0,
+			PBurst: 0.45, BurstLen: 10, BurstGap: 6, PDep: 0.05})
+
+	add("milc",
+		segments([2]int{0, 300}, [2]int{1, 180}, [2]int{0, 260}),
+		Behavior{Name: "milc/mult", IlpIPC: 2.8, BranchMPKI: 0.6, APKI: 17,
+			HotLines: 200, WarmLines: 0, PHot: 0.20, PWarm: 0,
+			PBurst: 0.40, BurstLen: 8, BurstGap: 8, PDep: 0.08},
+		Behavior{Name: "milc/gauge", IlpIPC: 3.1, BranchMPKI: 0.5, APKI: 13,
+			HotLines: 180, WarmLines: 0, PHot: 0.24, PWarm: 0,
+			PBurst: 0.42, BurstLen: 9, BurstGap: 7, PDep: 0.07})
+
+	add("bwaves",
+		segments([2]int{0, 840}),
+		Behavior{Name: "bwaves/solve", IlpIPC: 3.6, BranchMPKI: 0.4, APKI: 19,
+			HotLines: 150, WarmLines: 0, PHot: 0.18, PWarm: 0,
+			PBurst: 0.50, BurstLen: 12, BurstGap: 5, PDep: 0.04})
+
+	add("leslie3d",
+		segments([2]int{0, 560}, [2]int{1, 120}),
+		Behavior{Name: "leslie/flux", IlpIPC: 3.2, BranchMPKI: 0.8, APKI: 14,
+			HotLines: 250, WarmLines: 0, PHot: 0.22, PWarm: 0,
+			PBurst: 0.40, BurstLen: 9, BurstGap: 7, PDep: 0.06},
+		Behavior{Name: "leslie/bc", IlpIPC: 2.9, BranchMPKI: 1.2, APKI: 9,
+			HotLines: 220, WarmLines: 0, PHot: 0.30, PWarm: 0,
+			PBurst: 0.35, BurstLen: 8, BurstGap: 9, PDep: 0.08})
+
+	// ---- compute-intensive, cache-sensitive ----
+
+	add("bzip2",
+		segments([2]int{0, 180}, [2]int{1, 160}, [2]int{0, 150}, [2]int{1, 140}),
+		Behavior{Name: "bzip2/compress", IlpIPC: 2.4, BranchMPKI: 6.0, APKI: 5,
+			HotLines: 1000, WarmLines: 3800, PHot: 0.50, PWarm: 0.38,
+			PBurst: 0.20, BurstLen: 4, BurstGap: 16, PDep: 0.30},
+		Behavior{Name: "bzip2/sort", IlpIPC: 2.0, BranchMPKI: 8.0, APKI: 6.5,
+			HotLines: 1200, WarmLines: 4200, PHot: 0.46, PWarm: 0.40,
+			PBurst: 0.18, BurstLen: 4, BurstGap: 18, PDep: 0.35})
+
+	add("astar",
+		segments([2]int{0, 460}, [2]int{1, 140}),
+		Behavior{Name: "astar/path", IlpIPC: 1.9, BranchMPKI: 8.5, APKI: 6,
+			HotLines: 1500, WarmLines: 6500, PHot: 0.48, PWarm: 0.36,
+			PBurst: 0.10, BurstLen: 3, BurstGap: 28, PDep: 0.70},
+		Behavior{Name: "astar/way", IlpIPC: 2.1, BranchMPKI: 7.0, APKI: 4.5,
+			HotLines: 1200, WarmLines: 4000, PHot: 0.54, PWarm: 0.32,
+			PBurst: 0.10, BurstLen: 3, BurstGap: 30, PDep: 0.65})
+
+	add("h264ref",
+		segments([2]int{0, 520}, [2]int{1, 180}),
+		Behavior{Name: "h264/me", IlpIPC: 3.8, BranchMPKI: 3.0, APKI: 3.5,
+			HotLines: 1000, WarmLines: 4000, PHot: 0.55, PWarm: 0.35,
+			PBurst: 0.25, BurstLen: 5, BurstGap: 12, PDep: 0.25},
+		Behavior{Name: "h264/dct", IlpIPC: 4.4, BranchMPKI: 1.8, APKI: 2.2,
+			HotLines: 800, WarmLines: 2500, PHot: 0.62, PWarm: 0.30,
+			PBurst: 0.30, BurstLen: 5, BurstGap: 10, PDep: 0.20})
+
+	add("gcc",
+		segments([2]int{0, 90}, [2]int{1, 110}, [2]int{2, 100}, [2]int{0, 70},
+			[2]int{1, 90}, [2]int{2, 80}),
+		Behavior{Name: "gcc/parse", IlpIPC: 2.3, BranchMPKI: 7.5, APKI: 5,
+			HotLines: 1400, WarmLines: 4200, PHot: 0.48, PWarm: 0.34,
+			PBurst: 0.22, BurstLen: 5, BurstGap: 12, PDep: 0.30},
+		Behavior{Name: "gcc/opt", IlpIPC: 2.8, BranchMPKI: 5.5, APKI: 8,
+			HotLines: 1800, WarmLines: 5200, PHot: 0.42, PWarm: 0.36,
+			PBurst: 0.28, BurstLen: 6, BurstGap: 10, PDep: 0.25},
+		Behavior{Name: "gcc/regalloc", IlpIPC: 2.5, BranchMPKI: 6.0, APKI: 6.5,
+			HotLines: 1600, WarmLines: 4800, PHot: 0.45, PWarm: 0.35,
+			PBurst: 0.25, BurstLen: 5, BurstGap: 11, PDep: 0.28})
+
+	// ---- compute-intensive, cache-insensitive ----
+
+	add("hmmer",
+		segments([2]int{0, 640}),
+		Behavior{Name: "hmmer/viterbi", IlpIPC: 4.5, BranchMPKI: 1.5, APKI: 0.8,
+			HotLines: 500, WarmLines: 0, PHot: 0.92, PWarm: 0,
+			PBurst: 0.15, BurstLen: 4, BurstGap: 20, PDep: 0.20})
+
+	add("namd",
+		segments([2]int{0, 580}, [2]int{1, 100}),
+		Behavior{Name: "namd/force", IlpIPC: 4.2, BranchMPKI: 0.9, APKI: 0.6,
+			HotLines: 700, WarmLines: 0, PHot: 0.90, PWarm: 0,
+			PBurst: 0.20, BurstLen: 5, BurstGap: 16, PDep: 0.10},
+		Behavior{Name: "namd/pairlist", IlpIPC: 3.6, BranchMPKI: 1.6, APKI: 1.4,
+			HotLines: 900, WarmLines: 0, PHot: 0.82, PWarm: 0,
+			PBurst: 0.22, BurstLen: 5, BurstGap: 15, PDep: 0.15})
+
+	add("povray",
+		segments([2]int{0, 700}),
+		Behavior{Name: "povray/trace", IlpIPC: 3.9, BranchMPKI: 2.5, APKI: 0.4,
+			HotLines: 400, WarmLines: 0, PHot: 0.95, PWarm: 0,
+			PBurst: 0.10, BurstLen: 3, BurstGap: 24, PDep: 0.15})
+
+	add("sjeng",
+		segments([2]int{0, 560}),
+		Behavior{Name: "sjeng/search", IlpIPC: 2.8, BranchMPKI: 9.0, APKI: 1.2,
+			HotLines: 900, WarmLines: 0, PHot: 0.85, PWarm: 0,
+			PBurst: 0.10, BurstLen: 3, BurstGap: 26, PDep: 0.30})
+
+	add("gamess",
+		segments([2]int{0, 760}),
+		Behavior{Name: "gamess/scf", IlpIPC: 4.8, BranchMPKI: 1.2, APKI: 0.3,
+			HotLines: 300, WarmLines: 0, PHot: 0.96, PWarm: 0,
+			PBurst: 0.15, BurstLen: 4, BurstGap: 18, PDep: 0.10})
+
+	add("perlbench",
+		segments([2]int{0, 340}, [2]int{1, 180}, [2]int{0, 200}),
+		Behavior{Name: "perl/interp", IlpIPC: 3.2, BranchMPKI: 5.0, APKI: 2.0,
+			HotLines: 1100, WarmLines: 2500, PHot: 0.70, PWarm: 0.22,
+			PBurst: 0.12, BurstLen: 3, BurstGap: 24, PDep: 0.40},
+		Behavior{Name: "perl/regex", IlpIPC: 2.9, BranchMPKI: 6.5, APKI: 2.8,
+			HotLines: 1300, WarmLines: 3200, PHot: 0.66, PWarm: 0.24,
+			PBurst: 0.14, BurstLen: 3, BurstGap: 22, PDep: 0.45})
+
+	return suite
+}
+
+// ByName returns the suite benchmark with the given name, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

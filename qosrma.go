@@ -1,0 +1,244 @@
+// Package qosrma is a reproduction of "QoS-Driven Coordinated Management of
+// Resources to Save Energy in Multicore Systems" (Nejat, Pericàs, Stenström;
+// IPDPS 2019) and its core-reconfiguration extension (Paper II of Nejat's
+// licentiate thesis).
+//
+// The package is the public facade over the full stack:
+//
+//   - a synthetic SPEC-CPU2006-like benchmark substrate (internal/trace),
+//   - SimPoint phase analysis (internal/simpoint),
+//   - a way-partitioned LLC with auxiliary tag directories and the MLP-aware
+//     ATD extension (internal/cache),
+//   - an interval-analysis core timing model and a McPAT-style power model
+//     (internal/timing, internal/power),
+//   - the offline detailed-simulation database (internal/simdb),
+//   - the QoS-driven coordinated resource managers (internal/core), and
+//   - the co-phase RMA simulator (internal/rmasim).
+//
+// Quick start:
+//
+//	sys, err := qosrma.NewSystem(4)
+//	if err != nil { ... }
+//	res, err := sys.Run([]string{"mcf", "soplex", "hmmer", "namd"},
+//		qosrma.RM2, qosrma.WithModel(qosrma.Model2))
+//	fmt.Printf("energy savings: %.1f%%\n", res.EnergySavings*100)
+package qosrma
+
+import (
+	"fmt"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/core"
+	"qosrma/internal/power"
+	"qosrma/internal/rmasim"
+	"qosrma/internal/sched"
+	"qosrma/internal/simdb"
+	"qosrma/internal/trace"
+	"qosrma/internal/workload"
+)
+
+// Re-exported types: the facade exposes the domain vocabulary without
+// requiring users to import internal packages.
+type (
+	// SystemConfig describes the modeled multi-core hardware.
+	SystemConfig = arch.SystemConfig
+	// Setting is one core's resource allocation (size, frequency, ways).
+	Setting = arch.Setting
+	// Scheme selects a resource-management algorithm.
+	Scheme = core.Scheme
+	// ModelKind selects the analytical performance model.
+	ModelKind = core.ModelKind
+	// Result is the outcome of simulating one workload.
+	Result = rmasim.Result
+	// AppResult is one application's scored outcome.
+	AppResult = rmasim.AppResult
+	// Mix is a named multi-programmed workload.
+	Mix = workload.Mix
+	// Profile is a benchmark's measured characterization.
+	Profile = workload.Profile
+)
+
+// Scheme aliases matching the papers' naming.
+const (
+	// Static keeps the baseline allocation (the QoS reference point).
+	Static = core.SchemeStatic
+	// DVFSOnly controls only per-core frequency.
+	DVFSOnly = core.SchemeDVFSOnly
+	// RM1 repartitions the LLC only.
+	RM1 = core.SchemePartitionOnly
+	// RM2 coordinates per-core DVFS with LLC partitioning (IPDPS 2019).
+	RM2 = core.SchemeCoordDVFSCache
+	// RM3 additionally reconfigures the core micro-architecture (Paper II).
+	RM3 = core.SchemeCoordCoreDVFSCache
+)
+
+// Analytical model aliases.
+const (
+	// Model1 charges every miss the full memory latency.
+	Model1 = core.Model1
+	// Model2 assumes constant memory-level parallelism (Paper I).
+	Model2 = core.Model2
+	// Model3 uses the MLP-aware ATD profiles (Paper II).
+	Model3 = core.Model3
+)
+
+// System is a ready-to-simulate machine: a hardware configuration plus the
+// offline detailed-simulation database for the benchmark suite (the thesis'
+// Figure 2.1 methodology, performed once at construction).
+type System struct {
+	db *simdb.DB
+}
+
+// NewSystem builds the default system for the given core count over the
+// full 20-benchmark suite. Construction runs the SimPoint analysis and the
+// parallel detailed simulation; expect a few seconds of work.
+func NewSystem(numCores int) (*System, error) {
+	return NewSystemFromConfig(arch.DefaultSystemConfig(numCores))
+}
+
+// NewSystemFromConfig builds a system with a custom hardware description.
+func NewSystemFromConfig(cfg SystemConfig) (*System, error) {
+	db, err := simdb.Build(cfg, trace.Suite(), simdb.DefaultBuildOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &System{db: db}, nil
+}
+
+// LoadSystem restores a system from a database file written by SaveDB.
+func LoadSystem(path string) (*System, error) {
+	db, err := simdb.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &System{db: db}, nil
+}
+
+// SaveDB serializes the simulation database to a file.
+func (s *System) SaveDB(path string) error { return s.db.SaveFile(path) }
+
+// DB exposes the underlying simulation database for advanced use (the
+// experiment runners in internal/experiments consume it directly).
+func (s *System) DB() *simdb.DB { return s.db }
+
+// Config returns the hardware configuration.
+func (s *System) Config() SystemConfig { return s.db.Sys }
+
+// Benchmarks lists the names of the available benchmark applications.
+func Benchmarks() []string {
+	suite := trace.Suite()
+	names := make([]string, len(suite))
+	for i, b := range suite {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// runConfig collects the optional knobs of System.Run.
+type runConfig struct {
+	model        ModelKind
+	slack        float64
+	perCoreSlack []float64
+	oracle       bool
+	feedback     bool
+	timeline     bool
+}
+
+// Option customizes a simulation run.
+type Option func(*runConfig)
+
+// WithModel selects the analytical model (default Model2 for RM2, matching
+// Paper I; pass Model3 for the Paper II predictor).
+func WithModel(k ModelKind) Option { return func(c *runConfig) { c.model = k } }
+
+// WithSlack grants every application the same QoS relaxation (0.4 tolerates
+// 40% longer execution time).
+func WithSlack(slack float64) Option { return func(c *runConfig) { c.slack = slack } }
+
+// WithPerCoreSlack grants per-application QoS relaxations.
+func WithPerCoreSlack(slack []float64) Option {
+	return func(c *runConfig) { c.perCoreSlack = slack }
+}
+
+// WithOracle feeds the resource manager perfect statistics for the upcoming
+// interval (the paper's "perfect models" experiments).
+func WithOracle() Option { return func(c *runConfig) { c.oracle = true } }
+
+// WithFeedback enables the phase-history MLP table — the thesis' proposed
+// software alternative to the Paper II MLP-ATD hardware. It reduces the
+// QoS-violation risk of the Model 2 predictor at zero hardware cost.
+func WithFeedback() Option { return func(c *runConfig) { c.feedback = true } }
+
+// WithTimeline records every per-core setting change in Result.Timeline
+// (the run-time allocation time-series shown in the papers' figures).
+func WithTimeline() Option { return func(c *runConfig) { c.timeline = true } }
+
+// Run simulates the workload (one benchmark name per core) under the given
+// scheme and returns the scored result.
+func (s *System) Run(apps []string, scheme Scheme, opts ...Option) (*Result, error) {
+	rc := runConfig{model: core.Model2}
+	if scheme == RM3 {
+		rc.model = core.Model3
+	}
+	for _, o := range opts {
+		o(&rc)
+	}
+	n := s.db.Sys.NumCores
+	if len(apps) != n {
+		return nil, fmt.Errorf("qosrma: workload needs %d applications, got %d", n, len(apps))
+	}
+	slack := rc.perCoreSlack
+	if slack == nil && rc.slack > 0 {
+		slack = make([]float64, n)
+		for i := range slack {
+			slack[i] = rc.slack
+		}
+	}
+	mgr := core.NewManager(core.Config{
+		Sys:      s.db.Sys,
+		Power:    power.DefaultParams(s.db.Sys),
+		Scheme:   scheme,
+		Model:    rc.model,
+		Slack:    slack,
+		Feedback: rc.feedback,
+	})
+	ro := rmasim.DefaultOptions()
+	ro.Oracle = rc.oracle
+	ro.Timeline = rc.timeline
+	return rmasim.Run(s.db, apps, mgr, ro)
+}
+
+// Characterize measures every benchmark against this system and returns the
+// paper-style categorization (memory intensity, cache sensitivity,
+// parallelism sensitivity).
+func (s *System) Characterize() ([]*Profile, error) {
+	return workload.CharacterizeAll(s.db)
+}
+
+// PaperIMixes generates Paper I style category workloads for this system.
+func (s *System) PaperIMixes(numMixes int) ([]Mix, error) {
+	profiles, err := s.Characterize()
+	if err != nil {
+		return nil, err
+	}
+	return workload.PaperIMixes(profiles, s.db.Sys.NumCores, numMixes), nil
+}
+
+// BaselineRound returns the time and energy of one full execution round of
+// the benchmark at the static baseline allocation.
+func (s *System) BaselineRound(bench string) (seconds, joules float64, err error) {
+	return rmasim.BaselineRound(s.db, bench)
+}
+
+// Collocate partitions the applications onto the given number of machines
+// (each with this system's core count) so that the coordinated resource
+// manager is predicted to save the most energy — the thesis' scheduler-
+// guidance proposal. It returns the machine assignments and the predicted
+// mean savings.
+func (s *System) Collocate(apps []string, machines int) (assignment [][]string, predicted float64, err error) {
+	a, err := sched.Collocate(s.db, apps, machines)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a.Machines, a.Predicted, nil
+}

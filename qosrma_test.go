@@ -1,0 +1,212 @@
+package qosrma
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var (
+	sysOnce sync.Once
+	sysInst *System
+	sysErr  error
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	sysOnce.Do(func() { sysInst, sysErr = NewSystem(4) })
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sysInst
+}
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 20 {
+		t.Fatalf("suite size %d", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate %s", n)
+		}
+		seen[n] = true
+	}
+	if !seen["mcf"] || !seen["libquantum"] {
+		t.Fatal("expected benchmarks missing")
+	}
+}
+
+func TestFacadeRunRM2(t *testing.T) {
+	s := testSystem(t)
+	res, err := s.Run([]string{"soplex", "sphinx3", "gamess", "hmmer"}, RM2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergySavings < 0.03 {
+		t.Fatalf("RM2 savings %.3f on a favourable mix", res.EnergySavings)
+	}
+	if len(res.Apps) != 4 {
+		t.Fatalf("apps: %d", len(res.Apps))
+	}
+}
+
+func TestFacadeRunRM3DefaultsToModel3(t *testing.T) {
+	s := testSystem(t)
+	res, err := s.Run([]string{"mcf", "omnetpp", "perlbench", "xalancbmk"}, RM3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergySavings <= 0.05 {
+		t.Fatalf("RM3 savings %.3f", res.EnergySavings)
+	}
+}
+
+func TestFacadeStaticIsReference(t *testing.T) {
+	s := testSystem(t)
+	res, err := s.Run([]string{"mcf", "soplex", "hmmer", "namd"}, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergySavings > 1e-6 || res.EnergySavings < -1e-6 {
+		t.Fatalf("static savings %.6f, want 0", res.EnergySavings)
+	}
+}
+
+func TestFacadeSlackOption(t *testing.T) {
+	s := testSystem(t)
+	tight, err := s.Run([]string{"mcf", "soplex", "hmmer", "namd"}, RM2, WithOracle(), WithModel(Model3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := s.Run([]string{"mcf", "soplex", "hmmer", "namd"}, RM2,
+		WithOracle(), WithModel(Model3), WithSlack(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.EnergySavings <= tight.EnergySavings {
+		t.Fatalf("slack did not help: %.3f vs %.3f", loose.EnergySavings, tight.EnergySavings)
+	}
+}
+
+func TestFacadeWorkloadSizeError(t *testing.T) {
+	s := testSystem(t)
+	if _, err := s.Run([]string{"mcf"}, RM2); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestFacadeCharacterizeAndMixes(t *testing.T) {
+	s := testSystem(t)
+	profiles, err := s.Characterize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 20 {
+		t.Fatalf("profiles: %d", len(profiles))
+	}
+	mixes, err := s.PaperIMixes(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixes) != 6 {
+		t.Fatalf("mixes: %d", len(mixes))
+	}
+	for _, m := range mixes {
+		if len(m.Apps) != 4 {
+			t.Fatalf("%s: %d apps", m.Name, len(m.Apps))
+		}
+	}
+}
+
+func TestFacadeBaselineRound(t *testing.T) {
+	s := testSystem(t)
+	secs, joules, err := s.BaselineRound("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 || joules <= 0 {
+		t.Fatalf("degenerate baseline: %v s, %v J", secs, joules)
+	}
+}
+
+func TestFacadeSaveLoadRoundTrip(t *testing.T) {
+	s := testSystem(t)
+	path := filepath.Join(t.TempDir(), "db.gob.gz")
+	if err := s.SaveDB(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadSystem(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Config().NumCores != 4 {
+		t.Fatal("loaded system config wrong")
+	}
+	res, err := s2.Run([]string{"soplex", "sphinx3", "gamess", "hmmer"}, RM2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Run([]string{"soplex", "sphinx3", "gamess", "hmmer"}, RM2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergySavings != ref.EnergySavings {
+		t.Fatal("loaded system disagrees with original")
+	}
+}
+
+func TestLoadSystemMissingFile(t *testing.T) {
+	if _, err := LoadSystem("/nonexistent/db"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFacadeTimelineOption(t *testing.T) {
+	s := testSystem(t)
+	res, err := s.Run([]string{"mcf", "omnetpp", "gamess", "hmmer"}, RM2, WithTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("WithTimeline produced no events")
+	}
+}
+
+func TestFacadeFeedbackOption(t *testing.T) {
+	s := testSystem(t)
+	plain, err := s.Run([]string{"soplex", "sphinx3", "gamess", "hmmer"}, RM2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := s.Run([]string{"soplex", "sphinx3", "gamess", "hmmer"}, RM2, WithFeedback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The feedback table must not make the interval-violation audit worse.
+	plainProb := float64(plain.IntervalViolations) / float64(plain.Intervals)
+	fbProb := float64(fb.IntervalViolations) / float64(fb.Intervals)
+	if fbProb > plainProb*1.05 {
+		t.Fatalf("feedback raised the violation probability: %.4f -> %.4f", plainProb, fbProb)
+	}
+}
+
+func TestFacadeCollocate(t *testing.T) {
+	s := testSystem(t)
+	apps := []string{"mcf", "omnetpp", "perlbench", "xalancbmk",
+		"gamess", "hmmer", "namd", "povray"}
+	machines, predicted, err := s.Collocate(apps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) != 2 || len(machines[0]) != 4 || len(machines[1]) != 4 {
+		t.Fatalf("bad assignment shape: %v", machines)
+	}
+	if predicted <= 0.05 {
+		t.Fatalf("predicted savings %.3f too low for this workload", predicted)
+	}
+	if _, _, err := s.Collocate(apps[:3], 2); err == nil {
+		t.Fatal("expected size error")
+	}
+}
