@@ -1,0 +1,31 @@
+# Shared entry points for CI (.github/workflows/ci.yml) and local
+# development — keep the two in sync by only ever invoking make from CI.
+
+GO ?= go
+BENCH_OUT ?= bench.txt
+
+.PHONY: all build test lint bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# One iteration per benchmark: a smoke run that still reports the paper
+# metrics (avgSavings% etc.), captured for the perf trajectory artifact.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./... | tee $(BENCH_OUT)
+
+clean:
+	rm -f $(BENCH_OUT)
+	$(GO) clean ./...

@@ -1,6 +1,9 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation and prints them as markdown tables (the content recorded in
 // EXPERIMENTS.md). Use -only to run a subset, e.g. -only P1.F4,P2.MD.
+// With -emit csv -rows rows.csv the underlying sweep points stream to a
+// file as they execute; the process-wide sweep cache deduplicates points
+// shared between experiments (stats are logged at exit).
 package main
 
 import (
@@ -13,13 +16,38 @@ import (
 
 	"qosrma/internal/core"
 	"qosrma/internal/experiments"
+	"qosrma/internal/sweep"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	emitFormat := flag.String("emit", "", "stream per-point sweep rows in this format (csv or json)")
+	rowsPath := flag.String("rows", "", "destination file for -emit rows (default: stderr)")
 	flag.Parse()
+
+	if *emitFormat != "" {
+		w := os.Stderr
+		if *rowsPath != "" {
+			f, err := os.Create(*rowsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		em, err := sweep.NewEmitter(*emitFormat, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := em.Close(); err != nil {
+				log.Printf("emit close: %v", err)
+			}
+		}()
+		experiments.Engine().SetEmitter(em)
+	}
 
 	selected := func(id string) bool {
 		if *only == "" {
@@ -214,7 +242,9 @@ func main() {
 		return err
 	})
 
-	log.Printf("all selected experiments done in %v", time.Since(start).Round(time.Millisecond))
+	hits, misses := experiments.Engine().Cache().Stats()
+	log.Printf("all selected experiments done in %v (sweep cache: %d simulated, %d deduplicated)",
+		time.Since(start).Round(time.Millisecond), misses, hits)
 }
 
 // overhead measures the steady-state RMA invocation cost for RM2 (4 cores)

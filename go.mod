@@ -1,0 +1,3 @@
+module qosrma
+
+go 1.24

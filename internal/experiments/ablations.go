@@ -7,6 +7,7 @@ import (
 	"qosrma/internal/core"
 	"qosrma/internal/simdb"
 	"qosrma/internal/stats"
+	"qosrma/internal/sweep"
 	"qosrma/internal/trace"
 	"qosrma/internal/workload"
 )
@@ -28,25 +29,30 @@ type AblationRow struct {
 }
 
 // runRows executes one spec per mix for each named variant and aggregates.
+// All variants compile into a single sweep batch (variant-outer,
+// mix-inner) so the whole ablation shares one worker-pool dispatch.
 func runRows(db *simdb.DB, mixes []workload.Mix, variants []struct {
 	name   string
 	mutate func(*RunSpec)
 }) ([]AblationRow, error) {
-	var rows []AblationRow
+	var points []RunSpec
 	for _, v := range variants {
-		var specs []RunSpec
 		for _, mix := range mixes {
 			spec := RunSpec{
 				DB: db, Mix: mix, Scheme: core.SchemeCoordDVFSCache,
 				Model: core.Model2, BaselineFreqIdx: -1,
 			}
 			v.mutate(&spec)
-			specs = append(specs, spec)
+			points = append(points, spec)
 		}
-		results, err := ExecuteAll(specs)
-		if err != nil {
-			return nil, err
-		}
+	}
+	res, err := Engine().Run(sweep.Spec{Name: "ablation", DB: db, Points: points})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i, v := range variants {
+		results := res.Results[i*len(mixes) : (i+1)*len(mixes)]
 		var per []float64
 		var intervals, viol int
 		for _, r := range results {

@@ -7,14 +7,12 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"qosrma/internal/arch"
-	"qosrma/internal/core"
-	"qosrma/internal/power"
 	"qosrma/internal/rmasim"
 	"qosrma/internal/simdb"
+	"qosrma/internal/sweep"
 	"qosrma/internal/trace"
 	"qosrma/internal/workload"
 )
@@ -77,97 +75,27 @@ func SharedEnv() (*Env, error) {
 }
 
 // RunSpec describes one simulation: a workload under one manager config.
-type RunSpec struct {
-	DB     *simdb.DB
-	Mix    workload.Mix
-	Scheme core.Scheme
-	Model  core.ModelKind
-	Oracle bool
-	// Slack is the uniform QoS relaxation; PerCoreSlack overrides it.
-	Slack        float64
-	PerCoreSlack []float64
-	// BaselineFreqIdx overrides the system baseline frequency (-1 = keep).
-	BaselineFreqIdx int
-	// Feedback enables the phase-history MLP table extension.
-	Feedback bool
-	// SwitchScale scales all reconfiguration overheads (0 = keep as-is);
-	// used by the overhead-sensitivity ablation.
-	SwitchScale float64
-	// PerCoreGBps overrides the per-core memory-bandwidth cap in the
-	// ground-truth model (0 = keep the system default); used by the
-	// bandwidth ablation.
-	PerCoreGBps float64
-}
+// It is the sweep engine's point type; the alias keeps the historical
+// experiments API while the engine owns execution.
+type RunSpec = sweep.RunSpec
 
-// Execute runs one spec.
-func Execute(spec RunSpec) (*rmasim.Result, error) {
-	db := spec.DB
-	needClone := (spec.BaselineFreqIdx >= 0 && spec.BaselineFreqIdx != db.Sys.BaselineFreqIdx) ||
-		spec.SwitchScale > 0 || spec.PerCoreGBps > 0
-	if needClone {
-		// The database contents (profiles) are independent of these
-		// parameters; only the derived model changes, so a shallow copy
-		// with a modified system config is sufficient.
-		clone := *db
-		if spec.BaselineFreqIdx >= 0 {
-			clone.Sys.BaselineFreqIdx = spec.BaselineFreqIdx
-		}
-		if spec.SwitchScale > 0 {
-			sw := &clone.Sys.Switch
-			sw.DVFSTransNs *= spec.SwitchScale
-			sw.CoreResizeNs *= spec.SwitchScale
-			sw.WayMigrateNs *= spec.SwitchScale
-			sw.DVFSTransJ *= spec.SwitchScale
-			sw.CoreResizeJ *= spec.SwitchScale
-			sw.WayMigrateJ *= spec.SwitchScale
-		}
-		if spec.PerCoreGBps > 0 {
-			clone.Sys.Mem.PerCoreGBps = spec.PerCoreGBps
-		}
-		db = &clone
-	}
-	n := db.Sys.NumCores
-	slack := spec.PerCoreSlack
-	if slack == nil && spec.Slack > 0 {
-		slack = make([]float64, n)
-		for i := range slack {
-			slack[i] = spec.Slack
-		}
-	}
-	mgr := core.NewManager(core.Config{
-		Sys:      db.Sys,
-		Power:    power.DefaultParams(db.Sys),
-		Scheme:   spec.Scheme,
-		Model:    spec.Model,
-		Slack:    slack,
-		Feedback: spec.Feedback,
-	})
-	opt := rmasim.DefaultOptions()
-	opt.Oracle = spec.Oracle
-	return rmasim.Run(db, spec.Mix.Apps, mgr, opt)
-}
+// defaultEngine is the process-wide sweep engine. Sharing one engine (and
+// therefore one result cache) across every experiment runner means
+// overlapping grids — e.g. the relaxation sweep's zero-slack points and
+// the energy-savings comparison — are simulated exactly once per process.
+var defaultEngine = sweep.NewEngine()
 
-// ExecuteAll runs the specs concurrently with a bounded worker pool and
-// returns results in input order.
+// Engine returns the process-wide sweep engine the experiment runners
+// execute on (commands use it to install emitters and report cache
+// statistics).
+func Engine() *sweep.Engine { return defaultEngine }
+
+// Execute runs one spec serially, bypassing the engine's cache.
+func Execute(spec RunSpec) (*rmasim.Result, error) { return sweep.Execute(spec) }
+
+// ExecuteAll runs the specs on the shared engine's bounded worker pool and
+// returns results in input order. Duplicate points are simulated once, and
+// every failing point contributes to the aggregated error.
 func ExecuteAll(specs []RunSpec) ([]*rmasim.Result, error) {
-	results := make([]*rmasim.Result, len(specs))
-	errs := make([]error, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, spec RunSpec) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = Execute(spec)
-		}(i, spec)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return defaultEngine.ExecuteAll(specs, "")
 }

@@ -277,3 +277,56 @@ func TestQoSOfEmpty(t *testing.T) {
 		t.Fatalf("empty QoS stats: %+v", q)
 	}
 }
+
+func TestExecuteAllAggregatesErrors(t *testing.T) {
+	e := env(t)
+	good := RunSpec{
+		DB: e.DB4, Mix: e.Mixes4[4], Scheme: core.SchemeCoordDVFSCache,
+		Model: core.Model2, BaselineFreqIdx: -1,
+	}
+	badApp := good
+	badApp.Mix = workload.Mix{Name: "badapp", Apps: []string{"nosuchbench", "mcf", "lbm", "milc"}}
+	badCount := good
+	badCount.Mix = workload.Mix{Name: "badcount", Apps: []string{"mcf"}}
+	_, err := ExecuteAll([]RunSpec{good, badApp, badCount})
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	// Every failing point must survive aggregation, not just the first.
+	for _, want := range []string{"badapp", "badcount"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("aggregated error %q is missing point %s", err, want)
+		}
+	}
+	// The healthy point stays usable afterwards.
+	if _, err := ExecuteAll([]RunSpec{good}); err != nil {
+		t.Fatalf("healthy point failed after bad batch: %v", err)
+	}
+}
+
+func TestSweepCacheAvoidsResimulation(t *testing.T) {
+	e := env(t)
+	mixes := favorableMixes(e)[:2]
+	schemes := []core.Scheme{core.SchemePartitionOnly, core.SchemeCoordDVFSCache}
+
+	first, err := RunEnergySavings(e.DB4, mixes, schemes, core.Model2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := Engine().Cache().Stats()
+	second, err := RunEnergySavings(e.DB4, mixes, schemes, core.Model2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfter := Engine().Cache().Stats()
+	if missesAfter != missesBefore {
+		t.Fatalf("cached re-run simulated %d new points, want 0", missesAfter-missesBefore)
+	}
+	for i := range first.Schemes {
+		for j := range first.Schemes[i].Results {
+			if first.Schemes[i].Results[j] != second.Schemes[i].Results[j] {
+				t.Fatalf("scheme %d mix %d: cached result differs", i, j)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"qosrma/internal/rmasim"
 	"qosrma/internal/simdb"
 	"qosrma/internal/stats"
+	"qosrma/internal/sweep"
 	"qosrma/internal/workload"
 )
 
@@ -35,29 +36,26 @@ type EnergySavingsExperiment struct {
 	Schemes []*SavingsResult
 }
 
-// RunEnergySavings executes the savings comparison over the given mixes.
+// RunEnergySavings executes the savings comparison over the given mixes as
+// a Mixes × Schemes sweep grid.
 func RunEnergySavings(db *simdb.DB, mixes []workload.Mix, schemes []core.Scheme, model core.ModelKind, oracle bool) (*EnergySavingsExperiment, error) {
-	exp := &EnergySavingsExperiment{Mixes: mixes}
-	var specs []RunSpec
-	for _, scheme := range schemes {
-		for _, mix := range mixes {
-			specs = append(specs, RunSpec{
-				DB: db, Mix: mix, Scheme: scheme, Model: model,
-				Oracle: oracle, BaselineFreqIdx: -1,
-			})
-		}
-	}
-	results, err := ExecuteAll(specs)
+	res, err := Engine().Run(sweep.Spec{
+		Name: "energy-savings", DB: db,
+		Mixes:            mixes,
+		Schemes:          schemes,
+		Models:           []core.ModelKind{model},
+		Oracle:           []bool{oracle},
+		BaselineFreqIdxs: []int{-1},
+	})
 	if err != nil {
 		return nil, err
 	}
-	i := 0
+	exp := &EnergySavingsExperiment{Mixes: mixes}
 	for _, scheme := range schemes {
 		sr := &SavingsResult{Scheme: scheme}
-		for range mixes {
-			sr.PerMix = append(sr.PerMix, results[i].EnergySavings)
-			sr.Results = append(sr.Results, results[i])
-			i++
+		for _, r := range res.Select(func(p RunSpec) bool { return p.Scheme == scheme }) {
+			sr.PerMix = append(sr.PerMix, r.EnergySavings)
+			sr.Results = append(sr.Results, r)
 		}
 		exp.Schemes = append(exp.Schemes, sr)
 	}
@@ -180,19 +178,21 @@ type RelaxationPoint struct {
 // energy savings as the performance constraint is gradually relaxed
 // (perfect models, as in the paper).
 func RunRelaxationSweep(db *simdb.DB, mixes []workload.Mix, scheme core.Scheme, slacks []float64) ([]RelaxationPoint, error) {
+	res, err := Engine().Run(sweep.Spec{
+		Name: "qos-relaxation", DB: db,
+		Mixes:            mixes,
+		Schemes:          []core.Scheme{scheme},
+		Models:           []core.ModelKind{core.Model3},
+		Slacks:           slacks,
+		Oracle:           []bool{true},
+		BaselineFreqIdxs: []int{-1},
+	})
+	if err != nil {
+		return nil, err
+	}
 	points := make([]RelaxationPoint, 0, len(slacks))
 	for _, slack := range slacks {
-		var specs []RunSpec
-		for _, mix := range mixes {
-			specs = append(specs, RunSpec{
-				DB: db, Mix: mix, Scheme: scheme, Model: core.Model3,
-				Oracle: true, Slack: slack, BaselineFreqIdx: -1,
-			})
-		}
-		results, err := ExecuteAll(specs)
-		if err != nil {
-			return nil, err
-		}
+		results := res.Select(func(p RunSpec) bool { return p.Slack == slack })
 		var per []float64
 		for _, r := range results {
 			per = append(per, r.EnergySavings)
@@ -236,7 +236,7 @@ func RunSubsetRelaxation(db *simdb.DB, mix workload.Mix, slack float64) ([]Subse
 		{"second half", func(i int) bool { return i >= n/2 }},
 		{"all apps", func(int) bool { return true }},
 	}
-	var out []SubsetRelaxation
+	var points []RunSpec
 	for _, sc := range scenarios {
 		per := make([]float64, n)
 		for i := range per {
@@ -244,15 +244,20 @@ func RunSubsetRelaxation(db *simdb.DB, mix workload.Mix, slack float64) ([]Subse
 				per[i] = slack
 			}
 		}
-		res, err := Execute(RunSpec{
+		points = append(points, RunSpec{
 			DB: db, Mix: mix, Scheme: core.SchemeCoordDVFSCache, Model: core.Model3,
 			Oracle: true, PerCoreSlack: per, BaselineFreqIdx: -1,
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	res, err := Engine().Run(sweep.Spec{Name: "subset-relaxation", DB: db, Points: points})
+	if err != nil {
+		return nil, err
+	}
+	var out []SubsetRelaxation
+	for i, sc := range scenarios {
 		out = append(out, SubsetRelaxation{
-			Scenario: sc.name, Slack: per, Savings: res.EnergySavings, Result: res,
+			Scenario: sc.name, Slack: points[i].PerCoreSlack,
+			Savings: res.Results[i].EnergySavings, Result: res.Results[i],
 		})
 	}
 	return out, nil
@@ -279,23 +284,28 @@ type BaselineVFPoint struct {
 // RunBaselineVFSensitivity evaluates how the choice of the baseline VF
 // changes the savings of the combined scheme.
 func RunBaselineVFSensitivity(db *simdb.DB, mixes []workload.Mix, freqsGHz []float64) ([]BaselineVFPoint, error) {
+	idxs := make([]int, len(freqsGHz))
+	for i, f := range freqsGHz {
+		idxs[i] = db.Sys.DVFS.ClosestIndex(f)
+	}
+	res, err := Engine().Run(sweep.Spec{
+		Name: "baseline-vf", DB: db,
+		Mixes:            mixes,
+		Schemes:          []core.Scheme{core.SchemeCoordDVFSCache},
+		Models:           []core.ModelKind{core.Model3},
+		Oracle:           []bool{true},
+		BaselineFreqIdxs: idxs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Grid order is mix-outer, frequency-inner; regroup by index arithmetic
+	// because two requested frequencies may snap to the same DVFS step.
 	var out []BaselineVFPoint
-	for _, f := range freqsGHz {
-		idx := db.Sys.DVFS.ClosestIndex(f)
-		var specs []RunSpec
-		for _, mix := range mixes {
-			specs = append(specs, RunSpec{
-				DB: db, Mix: mix, Scheme: core.SchemeCoordDVFSCache, Model: core.Model3,
-				Oracle: true, BaselineFreqIdx: idx,
-			})
-		}
-		results, err := ExecuteAll(specs)
-		if err != nil {
-			return nil, err
-		}
+	for k, idx := range idxs {
 		var per []float64
-		for _, r := range results {
-			per = append(per, r.EnergySavings)
+		for m := range mixes {
+			per = append(per, res.Results[m*len(idxs)+k].EnergySavings)
 		}
 		out = append(out, BaselineVFPoint{
 			FreqGHz: db.Sys.DVFS[idx].FreqGHz,

@@ -8,6 +8,7 @@ import (
 	"qosrma/internal/rmasim"
 	"qosrma/internal/simdb"
 	"qosrma/internal/stats"
+	"qosrma/internal/sweep"
 	"qosrma/internal/workload"
 )
 
@@ -59,25 +60,24 @@ type ScenarioAnalysis struct {
 	Outcomes []MixOutcome
 }
 
-// RunScenarioAnalysis executes RM1/RM2/RM3 on every Paper II mix.
+// RunScenarioAnalysis executes RM1/RM2/RM3 on every Paper II mix as a
+// Mixes × Schemes sweep grid.
 func RunScenarioAnalysis(db *simdb.DB, mixes []workload.Mix, model core.ModelKind) (*ScenarioAnalysis, error) {
-	schemes := []core.Scheme{
-		core.SchemePartitionOnly,
-		core.SchemeCoordDVFSCache,
-		core.SchemeCoordCoreDVFSCache,
-	}
-	var specs []RunSpec
-	for _, mix := range mixes {
-		for _, s := range schemes {
-			specs = append(specs, RunSpec{
-				DB: db, Mix: mix, Scheme: s, Model: model, BaselineFreqIdx: -1,
-			})
-		}
-	}
-	results, err := ExecuteAll(specs)
+	res, err := Engine().Run(sweep.Spec{
+		Name: "scenario-analysis", DB: db,
+		Mixes: mixes,
+		Schemes: []core.Scheme{
+			core.SchemePartitionOnly,
+			core.SchemeCoordDVFSCache,
+			core.SchemeCoordCoreDVFSCache,
+		},
+		Models:           []core.ModelKind{model},
+		BaselineFreqIdxs: []int{-1},
+	})
 	if err != nil {
 		return nil, err
 	}
+	results := res.Results
 	an := &ScenarioAnalysis{}
 	for i, mix := range mixes {
 		rm1 := results[i*3+0]
@@ -170,20 +170,23 @@ type ModelComparison struct {
 	QoS           QoSStats
 }
 
-// RunModelComparison executes the three models over the mixes.
+// RunModelComparison executes the three models over the mixes as a
+// Mixes × Models sweep grid.
 func RunModelComparison(db *simdb.DB, mixes []workload.Mix, scheme core.Scheme) ([]ModelComparison, error) {
+	kinds := []core.ModelKind{core.Model1, core.Model2, core.Model3}
+	res, err := Engine().Run(sweep.Spec{
+		Name: "model-comparison", DB: db,
+		Mixes:            mixes,
+		Schemes:          []core.Scheme{scheme},
+		Models:           kinds,
+		BaselineFreqIdxs: []int{-1},
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []ModelComparison
-	for _, kind := range []core.ModelKind{core.Model1, core.Model2, core.Model3} {
-		var specs []RunSpec
-		for _, mix := range mixes {
-			specs = append(specs, RunSpec{
-				DB: db, Mix: mix, Scheme: scheme, Model: kind, BaselineFreqIdx: -1,
-			})
-		}
-		results, err := ExecuteAll(specs)
-		if err != nil {
-			return nil, err
-		}
+	for _, kind := range kinds {
+		results := res.Select(func(p RunSpec) bool { return p.Model == kind })
 		mc := ModelComparison{Model: kind}
 		var totalIntervals, totalViol int
 		for _, r := range results {

@@ -36,22 +36,32 @@ func RunSchedulerGuidance(db *simdb.DB, apps []string) ([]SchedOutcome, error) {
 		{Policy: "adversarial (similar apps clustered)", Machines: worst.Machines, Predicted: worst.Predicted},
 		{Policy: "characteristics-guided", Machines: best.Machines, Predicted: best.Predicted},
 	}
+	// One batched sweep over every machine of every policy.
+	var specs []RunSpec
+	var owner []int
 	for i := range outcomes {
-		var total float64
 		for _, machine := range outcomes[i].Machines {
-			res, err := Execute(RunSpec{
+			specs = append(specs, RunSpec{
 				DB:     db,
 				Mix:    workload.Mix{Name: "sched", Apps: machine},
 				Scheme: core.SchemeCoordDVFSCache, Model: core.Model2,
 				BaselineFreqIdx: -1,
 			})
-			if err != nil {
-				return nil, err
-			}
-			total += res.EnergySavings
-			outcomes[i].Violations += res.Violations
+			owner = append(owner, i)
 		}
-		outcomes[i].Measured = total / float64(len(outcomes[i].Machines))
+	}
+	results, err := ExecuteAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	totals := make([]float64, len(outcomes))
+	for k, res := range results {
+		i := owner[k]
+		totals[i] += res.EnergySavings
+		outcomes[i].Violations += res.Violations
+	}
+	for i := range outcomes {
+		outcomes[i].Measured = totals[i] / float64(len(outcomes[i].Machines))
 	}
 	return outcomes, nil
 }

@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"qosrma/internal/rmasim"
+)
+
+// Row is one aggregated sweep record: the point's configuration plus the
+// headline metrics of its simulation, flat enough to stream as CSV or
+// JSON lines.
+type Row struct {
+	Sweep string `json:"sweep,omitempty"`
+	Index int    `json:"index"`
+
+	Mix    string `json:"mix"`
+	Apps   string `json:"apps"`
+	Scheme string `json:"scheme"`
+	Model  string `json:"model"`
+	Oracle bool   `json:"oracle,omitempty"`
+
+	Slack           []float64 `json:"slack,omitempty"`
+	BaselineFreqIdx int       `json:"baseline_freq_idx"`
+	Feedback        bool      `json:"feedback,omitempty"`
+	SwitchScale     float64   `json:"switch_scale,omitempty"`
+	PerCoreGBps     float64   `json:"per_core_gbps,omitempty"`
+
+	EnergySavings      float64 `json:"energy_savings"`
+	Violations         int     `json:"violations"`
+	Intervals          int     `json:"intervals"`
+	IntervalViolations int     `json:"interval_violations"`
+	ViolationMeanPct   float64 `json:"violation_mean_pct"`
+	ViolationStdPct    float64 `json:"violation_std_pct"`
+}
+
+// makeRow flattens one executed point.
+func makeRow(sweepName string, idx int, spec RunSpec, res *rmasim.Result) Row {
+	n := 0
+	if spec.DB != nil {
+		n = spec.DB.Sys.NumCores
+	}
+	return Row{
+		Sweep:              sweepName,
+		Index:              idx,
+		Mix:                spec.Mix.Name,
+		Apps:               strings.Join(spec.Mix.Apps, "+"),
+		Scheme:             spec.Scheme.String(),
+		Model:              spec.Model.String(),
+		Oracle:             spec.Oracle,
+		Slack:              spec.effectiveSlack(n),
+		BaselineFreqIdx:    spec.BaselineFreqIdx,
+		Feedback:           spec.Feedback,
+		SwitchScale:        spec.SwitchScale,
+		PerCoreGBps:        spec.PerCoreGBps,
+		EnergySavings:      res.EnergySavings,
+		Violations:         res.Violations,
+		Intervals:          res.Intervals,
+		IntervalViolations: res.IntervalViolations,
+		ViolationMeanPct:   res.ViolationMeanPct,
+		ViolationStdPct:    res.ViolationStdPct,
+	}
+}
+
+// Emitter receives aggregated rows in deterministic point order as a
+// sweep executes. Implementations need not be safe for concurrent use:
+// the engine serializes Emit calls.
+type Emitter interface {
+	Emit(Row) error
+	// Close flushes any buffered output. The engine does not call it; the
+	// owner of the underlying writer does.
+	Close() error
+}
+
+// csvHeader is the fixed column order of the CSV emitter.
+var csvHeader = []string{
+	"sweep", "index", "mix", "apps", "scheme", "model", "oracle", "slack",
+	"baseline_freq_idx", "feedback", "switch_scale", "per_core_gbps",
+	"energy_savings", "violations", "intervals", "interval_violations",
+	"violation_mean_pct", "violation_std_pct",
+}
+
+// CSVEmitter streams rows as CSV with a header line.
+type CSVEmitter struct {
+	w     *csv.Writer
+	wrote bool
+}
+
+// NewCSVEmitter wraps the writer.
+func NewCSVEmitter(w io.Writer) *CSVEmitter { return &CSVEmitter{w: csv.NewWriter(w)} }
+
+// Emit writes one record (and the header before the first one). Each
+// record is flushed through to the underlying writer immediately, so rows
+// already emitted survive even if the process aborts mid-sweep.
+func (c *CSVEmitter) Emit(r Row) error {
+	if !c.wrote {
+		c.wrote = true
+		if err := c.w.Write(csvHeader); err != nil {
+			return err
+		}
+	}
+	slack := make([]string, len(r.Slack))
+	for i, v := range r.Slack {
+		slack[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	err := c.w.Write([]string{
+		r.Sweep,
+		strconv.Itoa(r.Index),
+		r.Mix,
+		r.Apps,
+		r.Scheme,
+		r.Model,
+		strconv.FormatBool(r.Oracle),
+		strings.Join(slack, "|"),
+		strconv.Itoa(r.BaselineFreqIdx),
+		strconv.FormatBool(r.Feedback),
+		strconv.FormatFloat(r.SwitchScale, 'g', -1, 64),
+		strconv.FormatFloat(r.PerCoreGBps, 'g', -1, 64),
+		strconv.FormatFloat(r.EnergySavings, 'g', -1, 64),
+		strconv.Itoa(r.Violations),
+		strconv.Itoa(r.Intervals),
+		strconv.Itoa(r.IntervalViolations),
+		strconv.FormatFloat(r.ViolationMeanPct, 'g', -1, 64),
+		strconv.FormatFloat(r.ViolationStdPct, 'g', -1, 64),
+	})
+	if err != nil {
+		return err
+	}
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// Close flushes the CSV writer.
+func (c *CSVEmitter) Close() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// JSONEmitter streams rows as JSON lines (one object per row).
+type JSONEmitter struct {
+	enc *json.Encoder
+}
+
+// NewJSONEmitter wraps the writer.
+func NewJSONEmitter(w io.Writer) *JSONEmitter { return &JSONEmitter{enc: json.NewEncoder(w)} }
+
+// Emit writes one JSON line.
+func (j *JSONEmitter) Emit(r Row) error { return j.enc.Encode(r) }
+
+// Close is a no-op; JSON lines need no trailer.
+func (j *JSONEmitter) Close() error { return nil }
+
+// WriteCSV writes the rows as CSV in one call.
+func WriteCSV(w io.Writer, rows []Row) error {
+	em := NewCSVEmitter(w)
+	for _, r := range rows {
+		if err := em.Emit(r); err != nil {
+			return err
+		}
+	}
+	return em.Close()
+}
+
+// WriteJSON writes the rows as JSON lines in one call.
+func WriteJSON(w io.Writer, rows []Row) error {
+	em := NewJSONEmitter(w)
+	for _, r := range rows {
+		if err := em.Emit(r); err != nil {
+			return err
+		}
+	}
+	return em.Close()
+}
+
+// NewEmitter builds an emitter by format name ("csv" or "json").
+func NewEmitter(format string, w io.Writer) (Emitter, error) {
+	switch strings.ToLower(format) {
+	case "csv":
+		return NewCSVEmitter(w), nil
+	case "json", "jsonl", "ndjson":
+		return NewJSONEmitter(w), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown emit format %q (want csv or json)", format)
+	}
+}

@@ -1,0 +1,132 @@
+// Package sweep is the scenario-sweep engine: a declarative description of
+// a discrete configuration grid (schemes × models × slack × mixes × system
+// overrides) that compiles to individual simulation runs, executed on a
+// sharded bounded worker pool with deterministic per-point ordering and a
+// content-hash keyed result cache, so overlapping sweeps never re-simulate
+// a point. The experiment runners in internal/experiments are thin sweep
+// definitions on top of this package.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"qosrma/internal/core"
+	"qosrma/internal/power"
+	"qosrma/internal/rmasim"
+	"qosrma/internal/simdb"
+	"qosrma/internal/workload"
+)
+
+// RunSpec describes one simulation: a workload under one manager config.
+type RunSpec struct {
+	DB     *simdb.DB
+	Mix    workload.Mix
+	Scheme core.Scheme
+	Model  core.ModelKind
+	Oracle bool
+	// Slack is the uniform QoS relaxation; PerCoreSlack overrides it.
+	Slack        float64
+	PerCoreSlack []float64
+	// BaselineFreqIdx overrides the system baseline frequency (-1 = keep).
+	BaselineFreqIdx int
+	// Feedback enables the phase-history MLP table extension.
+	Feedback bool
+	// SwitchScale scales all reconfiguration overheads (0 = keep as-is);
+	// used by the overhead-sensitivity ablation.
+	SwitchScale float64
+	// PerCoreGBps overrides the per-core memory-bandwidth cap in the
+	// ground-truth model (0 = keep the system default); used by the
+	// bandwidth ablation.
+	PerCoreGBps float64
+}
+
+// effectiveSlack canonicalizes the two slack fields into the per-core
+// vector the manager will actually see (nil when every entry is zero).
+// Canonicalizing here lets the cache identify e.g. a uniform 40% sweep
+// point with the "all apps relaxed" subset-study point.
+func (s *RunSpec) effectiveSlack(n int) []float64 {
+	slack := s.PerCoreSlack
+	if slack == nil && s.Slack > 0 {
+		slack = make([]float64, n)
+		for i := range slack {
+			slack[i] = s.Slack
+		}
+	}
+	for _, v := range slack {
+		if v != 0 {
+			return slack
+		}
+	}
+	return nil
+}
+
+// Key returns the content hash identifying this point's full configuration:
+// the system description, the workload, and every manager/override knob.
+// Two specs with equal keys produce identical results (the simulator is
+// deterministic), which is what makes the result cache sound. The database
+// contents are assumed to be the deterministic function of the system
+// config they are everywhere in this repo (simdb.Build with default build
+// options), so the key hashes the config rather than every phase record.
+func (s *RunSpec) Key() string {
+	// An explicit baseline override equal to the system's own baseline is
+	// the same run as "keep" (-1); canonicalize so the two share a point.
+	bf := s.BaselineFreqIdx
+	if bf == s.DB.Sys.BaselineFreqIdx {
+		bf = -1
+	}
+	// Scaling every switch cost by 1 is the identity; fold it into "keep".
+	sw := s.SwitchScale
+	if sw == 1 {
+		sw = 0
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "sys=%+v|db=%d/%d|", s.DB.Sys, len(s.DB.Phases), len(s.DB.Analyses))
+	fmt.Fprintf(h, "apps=%q|scheme=%d|model=%d|oracle=%t|slack=%v|",
+		s.Mix.Apps, s.Scheme, s.Model, s.Oracle, s.effectiveSlack(s.DB.Sys.NumCores))
+	fmt.Fprintf(h, "bfreq=%d|feedback=%t|switch=%g|gbps=%g",
+		bf, s.Feedback, sw, s.PerCoreGBps)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Execute runs one spec serially, with no caching. Most callers should go
+// through an Engine instead.
+func Execute(spec RunSpec) (*rmasim.Result, error) {
+	db := spec.DB
+	needClone := (spec.BaselineFreqIdx >= 0 && spec.BaselineFreqIdx != db.Sys.BaselineFreqIdx) ||
+		spec.SwitchScale > 0 || spec.PerCoreGBps > 0
+	if needClone {
+		// The database contents (profiles) are independent of these
+		// parameters; only the derived model changes, so a shallow copy
+		// with a modified system config is sufficient.
+		clone := *db
+		if spec.BaselineFreqIdx >= 0 {
+			clone.Sys.BaselineFreqIdx = spec.BaselineFreqIdx
+		}
+		if spec.SwitchScale > 0 {
+			sw := &clone.Sys.Switch
+			sw.DVFSTransNs *= spec.SwitchScale
+			sw.CoreResizeNs *= spec.SwitchScale
+			sw.WayMigrateNs *= spec.SwitchScale
+			sw.DVFSTransJ *= spec.SwitchScale
+			sw.CoreResizeJ *= spec.SwitchScale
+			sw.WayMigrateJ *= spec.SwitchScale
+		}
+		if spec.PerCoreGBps > 0 {
+			clone.Sys.Mem.PerCoreGBps = spec.PerCoreGBps
+		}
+		db = &clone
+	}
+	mgr := core.NewManager(core.Config{
+		Sys:      db.Sys,
+		Power:    power.DefaultParams(db.Sys),
+		Scheme:   spec.Scheme,
+		Model:    spec.Model,
+		Slack:    spec.effectiveSlack(db.Sys.NumCores),
+		Feedback: spec.Feedback,
+	})
+	opt := rmasim.DefaultOptions()
+	opt.Oracle = spec.Oracle
+	return rmasim.Run(db, spec.Mix.Apps, mgr, opt)
+}

@@ -12,8 +12,10 @@
 //   - an interval-analysis core timing model and a McPAT-style power model
 //     (internal/timing, internal/power),
 //   - the offline detailed-simulation database (internal/simdb),
-//   - the QoS-driven coordinated resource managers (internal/core), and
-//   - the co-phase RMA simulator (internal/rmasim).
+//   - the QoS-driven coordinated resource managers (internal/core),
+//   - the co-phase RMA simulator (internal/rmasim), and
+//   - the scenario-sweep engine with its memoizing result cache
+//     (internal/sweep), reachable through System.Sweep.
 //
 // Quick start:
 //
@@ -33,6 +35,7 @@ import (
 	"qosrma/internal/rmasim"
 	"qosrma/internal/sched"
 	"qosrma/internal/simdb"
+	"qosrma/internal/sweep"
 	"qosrma/internal/trace"
 	"qosrma/internal/workload"
 )
@@ -84,9 +87,11 @@ const (
 
 // System is a ready-to-simulate machine: a hardware configuration plus the
 // offline detailed-simulation database for the benchmark suite (the thesis'
-// Figure 2.1 methodology, performed once at construction).
+// Figure 2.1 methodology, performed once at construction) and a sweep
+// engine whose result cache persists across Sweep calls.
 type System struct {
-	db *simdb.DB
+	db     *simdb.DB
+	engine *sweep.Engine
 }
 
 // NewSystem builds the default system for the given core count over the
@@ -102,7 +107,7 @@ func NewSystemFromConfig(cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{db: db}, nil
+	return newSystem(db), nil
 }
 
 // LoadSystem restores a system from a database file written by SaveDB.
@@ -111,7 +116,11 @@ func LoadSystem(path string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{db: db}, nil
+	return newSystem(db), nil
+}
+
+func newSystem(db *simdb.DB) *System {
+	return &System{db: db, engine: sweep.NewEngine()}
 }
 
 // SaveDB serializes the simulation database to a file.

@@ -2,6 +2,7 @@ package qosrma
 
 import (
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -208,5 +209,74 @@ func TestFacadeCollocate(t *testing.T) {
 	}
 	if _, _, err := s.Collocate(apps[:3], 2); err == nil {
 		t.Fatal("expected size error")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	s := testSystem(t)
+	res, err := s.Sweep(SweepSpec{
+		Name: "facade-grid",
+		Workloads: [][]string{
+			{"mcf", "soplex", "hmmer", "namd"},
+			{"lbm", "milc", "gamess", "povray"},
+		},
+		Schemes: []Scheme{DVFSOnly, RM2},
+		Slacks:  []float64{0, 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 8 {
+		t.Fatalf("sweep produced %d results, want 8", len(res.Results))
+	}
+	// RM2 with 40% slack must beat DVFS-only with none on the same mix.
+	rm2Relaxed := res.Results[3]
+	dvfsTight := res.Results[0]
+	if rm2Relaxed.EnergySavings <= dvfsTight.EnergySavings {
+		t.Fatalf("RM2@40%% slack (%.3f) not above DVFS-only (%.3f)",
+			rm2Relaxed.EnergySavings, dvfsTight.EnergySavings)
+	}
+
+	// A repeated sweep is served from the per-system cache.
+	_, missesBefore := s.SweepCacheStats()
+	again, err := s.Sweep(SweepSpec{
+		Name: "facade-grid",
+		Workloads: [][]string{
+			{"mcf", "soplex", "hmmer", "namd"},
+			{"lbm", "milc", "gamess", "povray"},
+		},
+		Schemes: []Scheme{DVFSOnly, RM2},
+		Slacks:  []float64{0, 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, missesAfter := s.SweepCacheStats(); missesAfter != missesBefore {
+		t.Fatalf("repeated sweep simulated %d new points", missesAfter-missesBefore)
+	}
+	for i := range res.Results {
+		if res.Results[i] != again.Results[i] {
+			t.Fatalf("point %d differs on cached re-run", i)
+		}
+	}
+
+	// The result renders to both emitter formats.
+	var csvOut, jsonOut strings.Builder
+	if err := WriteSweepCSV(&csvOut, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSweepJSON(&jsonOut, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvOut.String(), "facade-grid") ||
+		len(strings.Split(strings.TrimSpace(csvOut.String()), "\n")) != 9 {
+		t.Fatalf("CSV output wrong:\n%s", csvOut.String())
+	}
+	if !strings.Contains(jsonOut.String(), `"sweep":"facade-grid"`) {
+		t.Fatalf("JSON output wrong:\n%s", jsonOut.String())
+	}
+
+	if _, err := s.Sweep(SweepSpec{}); err == nil {
+		t.Fatal("empty sweep spec accepted")
 	}
 }
