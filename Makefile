@@ -1,10 +1,26 @@
 # Shared entry points for CI (.github/workflows/ci.yml) and local
 # development — keep the two in sync by only ever invoking make from CI.
 
+# The bench targets pipe `go test` through tee; without pipefail a failed
+# benchmark run would leave the pipeline (and CI) green.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
 GO ?= go
 BENCH_OUT ?= bench.txt
+BENCH_BASE ?= benchbase.txt
+BENCH_NEW ?= bench.new.txt
+BENCH_DIFF ?= benchdiff.txt
 
-.PHONY: all build test lint bench clean
+# Micro-benchmarks of the hot kernels (excludes the full experiment
+# regenerations and the multi-second database build): the set benchdiff
+# tracks against the committed baseline.
+MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|CurveReduction|TreeReduction16Core|SimDBLookup|SimDBReferenceEval|RMASimRun|RMAOverhead|RM3Overhead
+# benchbase and benchdiff must measure under identical flags, or the
+# benchstat comparison is noise.
+MICRO_FLAGS ?= -benchtime=0.2s -count=5
+
+.PHONY: all build test test-short lint bench benchbase benchdiff clean
 
 all: build lint test
 
@@ -13,6 +29,11 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Fast verification: multi-second environment builds are skipped via
+# testing.Short; CI uses this for the per-push test step.
+test-short:
+	$(GO) test -short -race ./...
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -26,6 +47,21 @@ lint:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./... | tee $(BENCH_OUT)
 
+# Regenerate the committed micro-benchmark baseline (same flags as
+# benchdiff, so benchstat compares like with like).
+benchbase:
+	$(GO) test -bench='$(MICRO_BENCH)' $(MICRO_FLAGS) -run '^$$' . | tee $(BENCH_BASE)
+
+# Run the micro-benchmarks and compare against the committed baseline with
+# benchstat; the diff lands in $(BENCH_DIFF) (uploaded as a CI artifact).
+benchdiff:
+	$(GO) test -bench='$(MICRO_BENCH)' $(MICRO_FLAGS) -run '^$$' . | tee $(BENCH_NEW)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_BASE) $(BENCH_NEW) | tee $(BENCH_DIFF); \
+	else \
+		$(GO) run golang.org/x/perf/cmd/benchstat@latest $(BENCH_BASE) $(BENCH_NEW) | tee $(BENCH_DIFF); \
+	fi
+
 clean:
-	rm -f $(BENCH_OUT)
+	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF)
 	$(GO) clean ./...

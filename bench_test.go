@@ -21,6 +21,9 @@ import (
 
 func benchEnv(b *testing.B) *experiments.Env {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping multi-second environment build in -short mode")
+	}
 	env, err := experiments.SharedEnv()
 	if err != nil {
 		b.Fatal(err)
@@ -234,6 +237,9 @@ var (
 // twoCoreDB lazily builds a 2-core database for the overhead scaling bench.
 func twoCoreDB(b *testing.B) *simdb.DB {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping multi-second database build in -short mode")
+	}
 	db2Once.Do(func() {
 		db2Inst, db2Err = simdb.Build(arch.DefaultSystemConfig(2), trace.Suite(),
 			simdb.DefaultBuildOptions())
@@ -438,13 +444,48 @@ func BenchmarkTreeReduction16Core(b *testing.B) {
 	}
 }
 
-// BenchmarkSimDBLookup measures one ground-truth performance evaluation.
+// BenchmarkSimDBLookup measures one ground-truth performance evaluation on
+// the hot path the RMA simulator uses: interned benchmark ID + lattice
+// index into the compiled tables.
 func BenchmarkSimDBLookup(b *testing.B) {
+	env := benchEnv(b)
+	db := env.DB4
+	id, ok := db.BenchIDOf("mcf")
+	if !ok {
+		b.Fatal("mcf missing")
+	}
+	idx := db.Lattice.Index(db.Sys.BaselineSetting())
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc += db.PerfAt(id, 0, idx).TPI
+	}
+	if acc <= 0 {
+		b.Fatal("degenerate lookup")
+	}
+}
+
+// BenchmarkSimDBLookupString measures the same lookup through the
+// string-keyed compatibility wrapper (name resolution + struct copy).
+func BenchmarkSimDBLookupString(b *testing.B) {
 	env := benchEnv(b)
 	s := env.DB4.Sys.BaselineSetting()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.DB4.Perf("mcf", 0, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimDBReferenceEval measures the retained on-the-fly model
+// evaluation the tables are compiled from (the pre-lattice cost of Perf).
+func BenchmarkSimDBReferenceEval(b *testing.B) {
+	env := benchEnv(b)
+	s := env.DB4.Sys.BaselineSetting()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.DB4.ReferencePerf("mcf", 0, s); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"text/tabwriter"
 	"time"
 
@@ -46,7 +45,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("loaded %d-core database with %d phase records", db.Sys.NumCores, len(db.Phases))
+		log.Printf("loaded %d-core database with %d phase records", db.Sys.NumCores, db.NumRecords())
 	} else {
 		start := time.Now()
 		log.Printf("building %d-core database over %d benchmarks...", *cores, len(trace.Suite()))
@@ -54,7 +53,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("built %d phase records in %v", len(db.Phases), time.Since(start).Round(time.Millisecond))
+		log.Printf("built %d phase records in %v", db.NumRecords(), time.Since(start).Round(time.Millisecond))
 	}
 
 	if *out != "" {
@@ -77,16 +76,12 @@ func main() {
 }
 
 func printInfo(db *simdb.DB) {
-	names := make([]string, 0, len(db.Analyses))
-	for n := range db.Analyses {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	names := db.BenchNames()
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "benchmark\tslices\tphases\tphase\tweight\trep slice\tAPKI\tMPKI@base\tIlpIPC\n")
 	base := db.Sys.BaselineWays()
 	for _, n := range names {
-		an := db.Analyses[n]
+		an := db.Analysis(n)
 		for p := 0; p < an.NumPhases; p++ {
 			rec, err := db.Record(n, p)
 			if err != nil {

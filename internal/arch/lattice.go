@@ -1,0 +1,68 @@
+package arch
+
+import "fmt"
+
+// Lattice is the canonical dense index over the (core size × DVFS level ×
+// LLC ways) setting space of one system configuration. It maps every
+// Setting to a unique int in [0, Len()) and back, so that per-setting data
+// (the compiled simulation database, candidate evaluations during local
+// optimization) can live in flat slices indexed by plain arithmetic instead
+// of hash maps or repeated model evaluation.
+//
+// The way axis has Assoc+1 entries (0..Assoc inclusive) to match the miss
+// profiles, and Index clamps out-of-range way counts the same way the
+// database's performance evaluation always has. Size and frequency indices
+// must be valid; Index panics otherwise, because arithmetic on a bad index
+// would silently alias a different setting's cell.
+type Lattice struct {
+	NumSizes int // selectable core sizes
+	NumFreqs int // DVFS operating points
+	NumWays  int // way entries per (size, freq): 0..NumWays-1
+}
+
+// Lattice returns the setting lattice of this system configuration.
+func (s SystemConfig) Lattice() Lattice {
+	return Lattice{
+		NumSizes: NumCoreSizes,
+		NumFreqs: len(s.DVFS),
+		NumWays:  s.LLC.Assoc + 1,
+	}
+}
+
+// Len returns the number of lattice points.
+func (l Lattice) Len() int { return l.NumSizes * l.NumFreqs * l.NumWays }
+
+// ClampWays maps an arbitrary way count onto the lattice's way axis.
+func (l Lattice) ClampWays(w int) int {
+	if w < 0 {
+		return 0
+	}
+	if w >= l.NumWays {
+		return l.NumWays - 1
+	}
+	return w
+}
+
+// Index returns the dense index of the setting. Ways are clamped onto the
+// axis; an out-of-range size or frequency index panics.
+func (l Lattice) Index(s Setting) int {
+	if int(s.Size) < 0 || int(s.Size) >= l.NumSizes || s.FreqIdx < 0 || s.FreqIdx >= l.NumFreqs {
+		panic(fmt.Sprintf("arch: setting %v outside lattice %+v", s, l))
+	}
+	return (int(s.Size)*l.NumFreqs+s.FreqIdx)*l.NumWays + l.ClampWays(s.Ways)
+}
+
+// Setting is the inverse of Index: it reconstructs the setting at a dense
+// index. Index(Setting(i)) == i for every i in [0, Len()).
+func (l Lattice) Setting(i int) Setting {
+	if i < 0 || i >= l.Len() {
+		panic(fmt.Sprintf("arch: lattice index %d outside [0, %d)", i, l.Len()))
+	}
+	w := i % l.NumWays
+	i /= l.NumWays
+	return Setting{
+		Size:    CoreSize(i / l.NumFreqs),
+		FreqIdx: i % l.NumFreqs,
+		Ways:    w,
+	}
+}

@@ -1,0 +1,69 @@
+package arch
+
+import "testing"
+
+func TestLatticeIndexSettingInverse(t *testing.T) {
+	sys := DefaultSystemConfig(4)
+	lat := sys.Lattice()
+	if got, want := lat.Len(), NumCoreSizes*len(sys.DVFS)*(sys.LLC.Assoc+1); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	seen := make(map[Setting]bool, lat.Len())
+	for i := 0; i < lat.Len(); i++ {
+		s := lat.Setting(i)
+		if seen[s] {
+			t.Fatalf("index %d: duplicate setting %v", i, s)
+		}
+		seen[s] = true
+		if back := lat.Index(s); back != i {
+			t.Fatalf("Index(Setting(%d)) = %d", i, back)
+		}
+	}
+}
+
+func TestLatticeIndexClampsWays(t *testing.T) {
+	sys := DefaultSystemConfig(2)
+	lat := sys.Lattice()
+	s := sys.BaselineSetting()
+	s.Ways = -5
+	lo := lat.Index(s)
+	s.Ways = 0
+	if lat.Index(s) != lo {
+		t.Fatal("negative ways not clamped to 0")
+	}
+	s.Ways = sys.LLC.Assoc + 99
+	hi := lat.Index(s)
+	s.Ways = sys.LLC.Assoc
+	if lat.Index(s) != hi {
+		t.Fatal("excess ways not clamped to assoc")
+	}
+}
+
+func TestLatticeIndexPanicsOutsideAxes(t *testing.T) {
+	lat := DefaultSystemConfig(2).Lattice()
+	for _, s := range []Setting{
+		{Size: CoreSize(-1), FreqIdx: 0, Ways: 1},
+		{Size: CoreSize(NumCoreSizes), FreqIdx: 0, Ways: 1},
+		{Size: SizeMedium, FreqIdx: -1, Ways: 1},
+		{Size: SizeMedium, FreqIdx: lat.NumFreqs, Ways: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Index(%v) did not panic", s)
+				}
+			}()
+			lat.Index(s)
+		}()
+	}
+	for _, i := range []int{-1, lat.Len()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Setting(%d) did not panic", i)
+				}
+			}()
+			lat.Setting(i)
+		}()
+	}
+}

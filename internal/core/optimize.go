@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"qosrma/internal/arch"
+	"qosrma/internal/power"
 )
 
 // Option is the best (size, frequency) found for one way allocation during
@@ -55,12 +56,28 @@ type LocalOptions struct {
 // searches the (size, frequency) plane for the cheapest setting whose
 // predicted IPS meets the QoS target, producing the core's energy curve.
 func (p *Predictor) BuildCurve(st *IntervalStats, opt LocalOptions) *Curve {
+	return p.BuildCurveInto(st, opt, nil)
+}
+
+// BuildCurveInto is BuildCurve writing into a reusable curve buffer (nil
+// allocates a fresh one); the resource manager reuses per-core buffers
+// across intervals, keeping the invocation path allocation-free.
+//
+// The candidate loop is restructured so that everything invariant in the
+// triple (size × ways × frequency) search — the QoS target, the per-size
+// dispatch and branch cycle components, the per-(size, ways) leading-miss
+// and miss predictions — is hoisted and computed exactly once, with the
+// arithmetic kept term-for-term identical to Predictor.IPS/EPI so the curve
+// is bit-equal to the naive search.
+func (p *Predictor) BuildCurveInto(st *IntervalStats, opt LocalOptions, buf *Curve) *Curve {
 	assoc := p.Sys.LLC.Assoc
 	if opt.MaxWays <= 0 || opt.MaxWays > assoc {
 		opt.MaxWays = assoc
 	}
 	freqs := opt.Freqs
 	if freqs == nil {
+		// Cold-path default (sched, tests): the manager precomputes Freqs
+		// in its per-core LocalOptions, so Decide never allocates here.
 		freqs = make([]int, len(p.Sys.DVFS))
 		for i := range freqs {
 			freqs[i] = i
@@ -72,20 +89,52 @@ func (p *Predictor) BuildCurve(st *IntervalStats, opt LocalOptions) *Curve {
 	}
 	target := p.QoSTargetIPS(st, opt.Slack)
 
-	curve := &Curve{Core: st.Core, Options: make([]Option, assoc+1)}
+	curve := buf
+	if curve == nil {
+		curve = &Curve{}
+	}
+	curve.Core = st.Core
+	if cap(curve.Options) >= assoc+1 {
+		curve.Options = curve.Options[:assoc+1]
+	} else {
+		curve.Options = make([]Option, assoc+1)
+	}
+
+	// Per-size invariants of the cycle model (Predictor.Cycles): the
+	// dispatch-bound base component and the branch penalty.
+	var baseCyc, branchCyc [arch.NumCoreSizes]float64
+	for _, size := range sizes {
+		cp := p.Sys.Cores[size]
+		baseCyc[size] = st.Instr / p.effIPC(st, cp)
+		branchCyc[size] = st.BranchMisses * float64(cp.BranchPenal)
+	}
+
+	latNs := p.Sys.Mem.LatencyNs
 	for w := 0; w <= assoc; w++ {
 		curve.Options[w] = Option{EPI: math.Inf(1)}
 		if w < 1 || w > opt.MaxWays {
 			continue // every core needs at least one way
 		}
 		best := &curve.Options[w]
+		misses := p.predictedMisses(st, w)
 		for _, size := range sizes {
+			leadLat := p.predictedLeading(st, size, w) * latNs
+			cp := p.Sys.Cores[size]
 			for _, fi := range freqs {
-				s := arch.Setting{Size: size, FreqIdx: fi, Ways: w}
-				if p.IPS(st, s) < target {
+				op := p.Sys.DVFS[fi]
+				f := op.FreqGHz
+				cycles := baseCyc[size] + branchCyc[size] + leadLat*f
+				if cycles <= 0 || st.Instr/(cycles/(f*1e9)) < target {
 					continue
 				}
-				epi := p.EPI(st, s)
+				epi := power.EPI(p.Power, power.Activity{
+					Instr:       st.Instr,
+					Seconds:     cycles / (f * 1e9),
+					LLCAccesses: st.LLCAccesses,
+					DRAMAcc:     misses,
+					Core:        cp,
+					Op:          op,
+				})
 				if epi < best.EPI {
 					*best = Option{Size: size, FreqIdx: fi, EPI: epi, Feasible: true}
 				}

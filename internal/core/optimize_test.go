@@ -211,3 +211,90 @@ func TestSettingsFromCurves(t *testing.T) {
 		t.Fatalf("settings wrong: %+v", s[1])
 	}
 }
+
+// naiveCurve is the reference local optimization: the original unhoisted
+// search that evaluates Predictor.IPS and Predictor.EPI per candidate.
+// BuildCurve must match it bit-for-bit (the hoisted arithmetic is required
+// to stay term-for-term identical to the model methods).
+func naiveCurve(p *Predictor, st *IntervalStats, opt LocalOptions) *Curve {
+	assoc := p.Sys.LLC.Assoc
+	if opt.MaxWays <= 0 || opt.MaxWays > assoc {
+		opt.MaxWays = assoc
+	}
+	freqs := opt.Freqs
+	if freqs == nil {
+		freqs = make([]int, len(p.Sys.DVFS))
+		for i := range freqs {
+			freqs[i] = i
+		}
+	}
+	sizes := opt.Sizes
+	if sizes == nil {
+		sizes = []arch.CoreSize{p.Sys.BaselineSize}
+	}
+	target := p.QoSTargetIPS(st, opt.Slack)
+	curve := &Curve{Core: st.Core, Options: make([]Option, assoc+1)}
+	for w := 0; w <= assoc; w++ {
+		curve.Options[w] = Option{EPI: math.Inf(1)}
+		if w < 1 || w > opt.MaxWays {
+			continue
+		}
+		best := &curve.Options[w]
+		for _, size := range sizes {
+			for _, fi := range freqs {
+				s := arch.Setting{Size: size, FreqIdx: fi, Ways: w}
+				if p.IPS(st, s) < target {
+					continue
+				}
+				epi := p.EPI(st, s)
+				if epi < best.EPI {
+					*best = Option{Size: size, FreqIdx: fi, EPI: epi, Feasible: true}
+				}
+				if !opt.MinEnergyFreq {
+					break
+				}
+			}
+		}
+	}
+	return curve
+}
+
+// TestBuildCurveMatchesNaiveSearch locks in the bit-equality of the
+// hoisted BuildCurve against the naive per-candidate model evaluation,
+// across both frequency rules, all size sets, slack values, and a spread
+// of synthetic profiles.
+func TestBuildCurveMatchesNaiveSearch(t *testing.T) {
+	sys := arch.DefaultSystemConfig(4)
+	rng := stats.NewRNG(1234)
+	sizeSets := [][]arch.CoreSize{
+		nil,
+		{sys.BaselineSize},
+		{arch.SizeSmall, arch.SizeMedium, arch.SizeLarge},
+	}
+	for trial := 0; trial < 40; trial++ {
+		ilp := 1 + rng.Float64()*4
+		apki := rng.Float64() * 30
+		total := 1e5 + rng.Float64()*5e6
+		floor := total * rng.Float64() * 0.5
+		knee := 2 + rng.Intn(12)
+		mlp := 1 + rng.Float64()*4
+		st := fakeStats(sys, ilp, apki, missProfile(sys.LLC.Assoc, total, floor, knee), mlp)
+		for kind := Model1; kind <= Model3; kind++ {
+			p := testPredictor(sys, kind)
+			opt := LocalOptions{
+				Sizes:         sizeSets[trial%len(sizeSets)],
+				MinEnergyFreq: trial%2 == 0,
+				Slack:         float64(trial%3) * 0.2,
+				MaxWays:       sys.LLC.Assoc - (sys.NumCores - 1),
+			}
+			want := naiveCurve(p, st, opt)
+			got := p.BuildCurve(st, opt)
+			for w := range want.Options {
+				if got.Options[w] != want.Options[w] {
+					t.Fatalf("trial %d kind %v w=%d: hoisted %+v != naive %+v",
+						trial, kind, w, got.Options[w], want.Options[w])
+				}
+			}
+		}
+	}
+}

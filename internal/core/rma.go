@@ -82,6 +82,10 @@ type Manager struct {
 	feedback  []*FeedbackTable // per core; nil when disabled
 	lastStats []*IntervalStats // per core; kept for the uncoordinated scheme
 
+	localOpts []LocalOptions // per-core search space, precomputed
+	scratch   *Curve         // reusable curve for the single-core schemes
+	uncoord   []*Curve       // reusable curves for the uncoordinated scheme
+
 	// Invocations counts Decide calls (diagnostics).
 	Invocations int
 }
@@ -112,6 +116,10 @@ func NewManager(cfg Config) *Manager {
 	for i := range m.settings {
 		m.settings[i] = cfg.Sys.BaselineSetting()
 	}
+	m.localOpts = make([]LocalOptions, n)
+	for i := range m.localOpts {
+		m.localOpts[i] = m.computeLocalOptions(i)
+	}
 	return m
 }
 
@@ -135,8 +143,9 @@ func (m *Manager) FeedbackFor(core int) *FeedbackTable {
 	return m.feedback[core]
 }
 
-// localOptions returns the per-core search space for the configured scheme.
-func (m *Manager) localOptions(core int) LocalOptions {
+// computeLocalOptions derives the per-core search space for the configured
+// scheme; NewManager precomputes it once per core (localOptions reads it).
+func (m *Manager) computeLocalOptions(core int) LocalOptions {
 	sys := m.cfg.Sys
 	maxWays := sys.LLC.Assoc - (sys.NumCores - 1)
 	opt := LocalOptions{
@@ -147,14 +156,27 @@ func (m *Manager) localOptions(core int) LocalOptions {
 	case SchemePartitionOnly:
 		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
 		opt.Freqs = []int{sys.BaselineFreqIdx}
+	case SchemeDVFSOnly, SchemeUCPDVFS:
+		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
 	case SchemeCoordDVFSCache:
 		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
 	case SchemeCoordCoreDVFSCache:
 		opt.Sizes = []arch.CoreSize{arch.SizeSmall, arch.SizeMedium, arch.SizeLarge}
 		opt.MinEnergyFreq = true
 	}
+	if opt.Freqs == nil {
+		// Materialize the "all frequencies" default once per manager so
+		// BuildCurveInto never allocates the index slice per invocation.
+		opt.Freqs = make([]int, len(sys.DVFS))
+		for i := range opt.Freqs {
+			opt.Freqs[i] = i
+		}
+	}
 	return opt
 }
+
+// localOptions returns the per-core search space for the configured scheme.
+func (m *Manager) localOptions(core int) LocalOptions { return m.localOpts[core] }
 
 // Decide is the RMA invocation: core invoker has completed an interval with
 // the given statistics. It returns the new settings for all cores and true,
@@ -184,10 +206,8 @@ func (m *Manager) Decide(invoker int, st *IntervalStats) ([]arch.Setting, bool) 
 	case SchemeDVFSOnly:
 		// Frequency-only control at the fixed equal partition: pick the
 		// cheapest feasible frequency for the invoker alone.
-		opt := m.localOptions(invoker)
-		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
-		curve := m.pred.BuildCurve(st, opt)
-		o := curve.Options[sys.BaselineWays()]
+		m.scratch = m.pred.BuildCurveInto(st, m.localOptions(invoker), m.scratch)
+		o := m.scratch.Options[sys.BaselineWays()]
 		if !o.Feasible {
 			return nil, false
 		}
@@ -197,9 +217,10 @@ func (m *Manager) Decide(invoker int, st *IntervalStats) ([]arch.Setting, bool) 
 		return m.Settings(), true
 	}
 
-	// Coordinated schemes: rebuild the invoker's curve, reuse the last
-	// curves of the other cores (thesis Fig. 3.1/3.2).
-	m.curves[invoker] = m.pred.BuildCurve(st, m.localOptions(invoker))
+	// Coordinated schemes: rebuild the invoker's curve (reusing its buffer
+	// across intervals), reuse the last curves of the other cores (thesis
+	// Fig. 3.1/3.2).
+	m.curves[invoker] = m.pred.BuildCurveInto(st, m.localOptions(invoker), m.curves[invoker])
 	for _, c := range m.curves {
 		if c == nil {
 			// First invocations: some cores have no statistics yet — keep
@@ -231,11 +252,12 @@ func (m *Manager) decideUncoordinated() ([]arch.Setting, bool) {
 		profiles[i] = st.ATDMisses
 	}
 	alloc := cache.UCPLookahead(profiles, sys.LLC.Assoc, 1)
+	if m.uncoord == nil {
+		m.uncoord = make([]*Curve, len(m.lastStats))
+	}
 	for i, st := range m.lastStats {
-		opt := m.localOptions(i)
-		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
-		curve := m.pred.BuildCurve(st, opt)
-		if o := curve.Options[alloc[i]]; o.Feasible {
+		m.uncoord[i] = m.pred.BuildCurveInto(st, m.localOptions(i), m.uncoord[i])
+		if o := m.uncoord[i].Options[alloc[i]]; o.Feasible {
 			m.settings[i] = arch.Setting{Size: o.Size, FreqIdx: o.FreqIdx, Ways: alloc[i]}
 		} else {
 			m.settings[i] = arch.Setting{

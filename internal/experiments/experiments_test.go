@@ -10,6 +10,9 @@ import (
 
 func env(t *testing.T) *Env {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping multi-second environment build in -short mode")
+	}
 	e, err := SharedEnv()
 	if err != nil {
 		t.Fatal(err)

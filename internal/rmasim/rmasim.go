@@ -9,6 +9,10 @@
 // (co-phase methodology) so that contention stays realistic until every
 // application has completed at least one full round, which is the scored
 // portion.
+//
+// The interval loop is allocation-free and map-free: benchmark names are
+// interned to dense simdb.BenchIDs up front, the current setting is carried
+// as a lattice index, and every database query is a precompiled-table read.
 package rmasim
 
 import (
@@ -103,11 +107,13 @@ type TimelineEvent struct {
 // coreState tracks one application's progress through its phase trace.
 type coreState struct {
 	bench   string
+	id      simdb.BenchID
 	phases  []int
 	slice   int     // index into phases
 	rem     float64 // instructions remaining in the current interval
 	stall   float64 // pending reconfiguration stall (seconds)
 	setting arch.Setting
+	setIdx  int // lattice index of setting
 
 	round      int
 	time       float64 // first-round completion time
@@ -124,6 +130,15 @@ type coreState struct {
 	usedInstr float64
 	usedFreq  float64 // sum of freqGHz x instructions
 	usedWays  float64 // sum of ways x instructions
+
+	// stats is the reusable IntervalStats buffer handed to the RMA. The
+	// manager DOES retain the pointer beyond Decide (lastStats, read by
+	// the uncoordinated scheme on later invocations), so the buffer must
+	// be owned by exactly this core: it is rewritten only immediately
+	// before this core's own Decide re-stores it, which preserves the
+	// per-snapshot semantics a freshly allocated struct would have. The
+	// profile slices alias the immutable database records.
+	stats core.IntervalStats
 }
 
 // Run simulates the workload (one benchmark name per core) under the given
@@ -138,28 +153,25 @@ func Run(db *simdb.DB, workload []string, mgr *core.Manager, opt Options) (*Resu
 		opt.MaxEvents = DefaultOptions().MaxEvents
 	}
 
+	baseSetting := db.Sys.BaselineSetting()
+	baseIdx := db.Lattice.Index(baseSetting)
 	cores := make([]*coreState, n)
 	for i, bench := range workload {
-		tr, err := db.PhaseTrace(bench)
-		if err != nil {
-			return nil, err
+		id, ok := db.BenchIDOf(bench)
+		if !ok {
+			return nil, fmt.Errorf("rmasim: no analysis for %s", bench)
 		}
 		cores[i] = &coreState{
 			bench:      bench,
-			phases:     tr,
+			id:         id,
+			phases:     db.PhaseTraceAt(id),
 			rem:        trace.SliceInstructions,
-			setting:    db.Sys.BaselineSetting(),
+			setting:    baseSetting,
+			setIdx:     baseIdx,
 			firstRound: true,
 		}
-		if err := refreshRates(db, cores[i]); err != nil {
-			return nil, err
-		}
-	}
-
-	for _, c := range cores {
-		if err := refreshBaseTPI(db, c); err != nil {
-			return nil, err
-		}
+		cores[i].refreshRates(db)
+		cores[i].refreshBaseTPI(db, baseIdx)
 	}
 
 	var timeline []TimelineEvent
@@ -244,35 +256,23 @@ func Run(db *simdb.DB, workload []string, mgr *core.Manager, opt Options) (*Resu
 			c.rem = trace.SliceInstructions
 
 			// Invoke the RMA with this core's statistics.
-			st, err := gatherStats(db, mgr, coreID, c, completed, opt.Oracle)
-			if err != nil {
-				return nil, err
-			}
+			st := c.gatherStats(db, coreID, completed, opt.Oracle)
 			newSettings, changed := mgr.Decide(coreID, st)
 			if changed {
-				if err := applySettings(db, cores, newSettings, record, tNow); err != nil {
-					return nil, err
-				}
+				applySettings(db, cores, newSettings, record, tNow)
 			}
 			// The completing core entered a new interval (possibly a new
 			// phase); its rates must be refreshed even when its setting is
 			// unchanged.
-			if err := refreshRates(db, c); err != nil {
-				return nil, err
-			}
-			if err := refreshBaseTPI(db, c); err != nil {
-				return nil, err
-			}
+			c.refreshRates(db)
+			c.refreshBaseTPI(db, baseIdx)
 		}
 	}
 	if remaining > 0 {
 		return nil, fmt.Errorf("rmasim: event budget exhausted with %d apps unfinished", remaining)
 	}
 
-	res, err := score(db, workload, mgr, cores)
-	if err != nil {
-		return nil, err
-	}
+	res := score(db, mgr, cores)
 	res.Intervals = auditIntervals
 	res.IntervalViolations = auditViolations
 	res.ViolationMeanPct = audit.Mean()
@@ -282,34 +282,24 @@ func Run(db *simdb.DB, workload []string, mgr *core.Manager, opt Options) (*Resu
 }
 
 // refreshBaseTPI caches the baseline TPI of the core's current interval.
-func refreshBaseTPI(db *simdb.DB, c *coreState) error {
-	pt, err := db.Perf(c.bench, c.phases[c.slice], db.Sys.BaselineSetting())
-	if err != nil {
-		return err
-	}
-	c.baseTPI = pt.TPI
-	return nil
+func (c *coreState) refreshBaseTPI(db *simdb.DB, baseIdx int) {
+	c.baseTPI = db.PerfAt(c.id, c.phases[c.slice], baseIdx).TPI
 }
 
 // refreshRates updates a core's TPI/EPI for its current interval + setting.
-func refreshRates(db *simdb.DB, c *coreState) error {
-	phase := c.phases[c.slice]
-	pt, err := db.Perf(c.bench, phase, c.setting)
-	if err != nil {
-		return err
-	}
+func (c *coreState) refreshRates(db *simdb.DB) {
+	pt := db.PerfAt(c.id, c.phases[c.slice], c.setIdx)
 	c.tpi = pt.TPI
 	c.epi = pt.EPI
 	if pt.Seconds > 0 {
 		// Power drawn while stalled on a reconfiguration: leakage + uncore.
 		c.watts = (pt.Energy.CoreStat + pt.Energy.Uncore) / pt.Seconds
 	}
-	return nil
 }
 
 // applySettings installs new settings on all cores, charging
 // reconfiguration overheads for every core whose allocation changed.
-func applySettings(db *simdb.DB, cores []*coreState, settings []arch.Setting, record func(float64, int, arch.Setting), tNow float64) error {
+func applySettings(db *simdb.DB, cores []*coreState, settings []arch.Setting, record func(float64, int, arch.Setting), tNow float64) {
 	sw := db.Sys.Switch
 	for i, c := range cores {
 		s := settings[i]
@@ -336,16 +326,14 @@ func applySettings(db *simdb.DB, cores []*coreState, settings []arch.Setting, re
 			c.energy += extraJ
 		}
 		c.setting = s
-		if err := refreshRates(db, c); err != nil {
-			return err
-		}
+		c.setIdx = db.Lattice.Index(s)
+		c.refreshRates(db)
 	}
-	return nil
 }
 
-// gatherStats assembles the IntervalStats the RMA observes after core
-// `coreID` completed interval `completed`.
-func gatherStats(db *simdb.DB, mgr *core.Manager, coreID int, c *coreState, completed int, oracle bool) (*core.IntervalStats, error) {
+// gatherStats fills the core's reusable IntervalStats buffer with what the
+// RMA observes after the core completed interval `completed`.
+func (c *coreState) gatherStats(db *simdb.DB, coreID, completed int, oracle bool) *core.IntervalStats {
 	// Realistic statistics describe the interval that just ended; oracle
 	// statistics describe the upcoming one.
 	sliceIdx := completed
@@ -353,15 +341,10 @@ func gatherStats(db *simdb.DB, mgr *core.Manager, coreID int, c *coreState, comp
 		sliceIdx = c.slice
 	}
 	phase := c.phases[sliceIdx]
-	rec, err := db.Record(c.bench, phase)
-	if err != nil {
-		return nil, err
-	}
-	pt, err := db.Perf(c.bench, phase, c.setting)
-	if err != nil {
-		return nil, err
-	}
-	st := &core.IntervalStats{
+	rec := db.RecordAt(c.id, phase)
+	pt := db.PerfAt(c.id, phase, c.setIdx)
+	st := &c.stats
+	*st = core.IntervalStats{
 		Core:          coreID,
 		Setting:       c.setting,
 		Instr:         trace.SliceInstructions,
@@ -379,21 +362,18 @@ func gatherStats(db *simdb.DB, mgr *core.Manager, coreID int, c *coreState, comp
 		st.ATDMisses = rec.SampledMisses
 		st.ATDLeading = rec.SampledLeading
 	}
-	return st, nil
+	return st
 }
 
 // score computes per-app baselines and aggregates the result.
-func score(db *simdb.DB, workload []string, mgr *core.Manager, cores []*coreState) (*Result, error) {
+func score(db *simdb.DB, mgr *core.Manager, cores []*coreState) *Result {
 	res := &Result{
 		Scheme:      mgr.Scheme().String(),
 		Invocations: mgr.Invocations,
 	}
 	var sumE, sumBaseE float64
 	for i, c := range cores {
-		bt, be, err := BaselineRound(db, workload[i])
-		if err != nil {
-			return nil, err
-		}
+		bt, be := baselineRound(db, c.id)
 		app := AppResult{
 			Core:           i,
 			Bench:          c.bench,
@@ -416,7 +396,7 @@ func score(db *simdb.DB, workload []string, mgr *core.Manager, cores []*coreStat
 		sumBaseE += be
 	}
 	res.EnergySavings = 1 - sumE/sumBaseE
-	return res, nil
+	return res
 }
 
 // BaselineRound returns the time and energy of one full round of the
@@ -424,18 +404,21 @@ func score(db *simdb.DB, workload []string, mgr *core.Manager, cores []*coreStat
 // baseline is independent of co-runners, so it can be computed directly
 // from the database.
 func BaselineRound(db *simdb.DB, bench string) (seconds, joules float64, err error) {
-	tr, err := db.PhaseTrace(bench)
-	if err != nil {
-		return 0, 0, err
+	id, ok := db.BenchIDOf(bench)
+	if !ok {
+		return 0, 0, fmt.Errorf("rmasim: no analysis for %s", bench)
 	}
-	base := db.Sys.BaselineSetting()
-	for _, phase := range tr {
-		pt, err := db.Perf(bench, phase, base)
-		if err != nil {
-			return 0, 0, err
-		}
+	seconds, joules = baselineRound(db, id)
+	return seconds, joules, nil
+}
+
+// baselineRound is the interned fast path of BaselineRound.
+func baselineRound(db *simdb.DB, id simdb.BenchID) (seconds, joules float64) {
+	baseIdx := db.Lattice.Index(db.Sys.BaselineSetting())
+	for _, phase := range db.PhaseTraceAt(id) {
+		pt := db.PerfAt(id, phase, baseIdx)
 		seconds += pt.Seconds
 		joules += pt.EPI * pt.Instr
 	}
-	return seconds, joules, nil
+	return seconds, joules
 }

@@ -21,6 +21,9 @@ var (
 // testDB builds one full-suite 4-core database shared across tests.
 func testDB(t *testing.T) *simdb.DB {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping multi-second database build in -short mode")
+	}
 	dbOnce.Do(func() {
 		sys := arch.DefaultSystemConfig(4)
 		dbInst, dbErr = simdb.Build(sys, trace.Suite(), simdb.DefaultBuildOptions())

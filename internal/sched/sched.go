@@ -26,8 +26,8 @@ import (
 // aggregateStats builds phase-weight-averaged oracle statistics for one
 // application — the scheduler's coarse, whole-program view of it.
 func aggregateStats(db *simdb.DB, bench string, coreID int) (*core.IntervalStats, error) {
-	an, ok := db.Analyses[bench]
-	if !ok {
+	an := db.Analysis(bench)
+	if an == nil {
 		return nil, fmt.Errorf("sched: unknown benchmark %s", bench)
 	}
 	assoc := db.Sys.LLC.Assoc

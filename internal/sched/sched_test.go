@@ -17,6 +17,9 @@ var (
 
 func testDB(t *testing.T) *simdb.DB {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping multi-second database build in -short mode")
+	}
 	dbOnce.Do(func() {
 		dbInst, dbErr = simdb.Build(arch.DefaultSystemConfig(4), trace.Suite(),
 			simdb.DefaultBuildOptions())

@@ -2,14 +2,24 @@
 // methodology (Figure 2.1): detailed simulation is performed once, offline
 // and in parallel, for every (benchmark, phase) pair, and the results are
 // collected in a database that the co-phase RMA simulator queries for every
-// resource setting. Performance and energy for an arbitrary setting
-// (core size, frequency, ways) are derived from the stored per-phase
-// profiles through the interval timing model and the power model.
+// resource setting.
+//
+// The database is *compiled*: at Build time the interval timing model and
+// the power model are evaluated over the entire (core size × DVFS level ×
+// ways) setting lattice for every phase, so that the query hot path —
+// db.PerfAt(bench, phase, latticeIndex) — is a bounds-checked array read
+// (index arithmetic, no model re-evaluation, no map lookups, no error
+// plumbing). Benchmarks are interned: callers resolve a name to a BenchID
+// once and use dense indices thereafter. The string-keyed API (Perf,
+// Record, PhaseTrace) remains as a thin compatibility wrapper, and
+// ReferencePerf retains the on-the-fly model evaluation the tables are
+// compiled from.
 package simdb
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"qosrma/internal/arch"
@@ -20,14 +30,21 @@ import (
 	"qosrma/internal/trace"
 )
 
-// PhaseKey identifies one benchmark phase.
+// BenchID is a dense interned benchmark identifier: the index of the
+// benchmark in DB.Benches.
+type BenchID int
+
+// PhaseKey identifies one benchmark phase by name (compatibility type for
+// the string-keyed API).
 type PhaseKey struct {
 	Bench string
 	Phase int
 }
 
 // PhaseRecord holds the detailed-simulation results for one phase's
-// representative slice, scaled to one 100M-instruction interval.
+// representative slice, scaled to one 100M-instruction interval. These are
+// the *model inputs*; the compiled per-setting outcomes live in the
+// benchmark's PerfTables.
 type PhaseRecord struct {
 	// Program characteristics exposed through performance counters.
 	IlpIPC     float64
@@ -49,12 +66,36 @@ type PhaseRecord struct {
 	RepSlice int     // representative slice index
 }
 
+// BenchData is one interned benchmark: its SimPoint analysis, the per-phase
+// detailed-simulation records, and the compiled per-phase performance
+// tables over the setting lattice.
+type BenchData struct {
+	Name     string
+	Analysis *simpoint.Analysis
+	// Phases[p] is the detailed-simulation record of phase p.
+	Phases []*PhaseRecord
+	// PerfTables[p][i] is the precomputed outcome of one interval of phase
+	// p at the setting with lattice index i.
+	PerfTables [][]PerfPoint
+}
+
 // DB is the simulation-results database for one system configuration.
 type DB struct {
-	Sys      arch.SystemConfig
-	Power    power.Params
-	Phases   map[PhaseKey]*PhaseRecord
-	Analyses map[string]*simpoint.Analysis
+	Sys     arch.SystemConfig
+	Power   power.Params
+	Lattice arch.Lattice
+	Benches []*BenchData
+
+	byName map[string]BenchID // rebuilt on load; not serialized
+	memo   *recompileMemo     // shared by shallow copies; not serialized
+}
+
+// recompileMemo memoizes bandwidth-override recompilations. It hangs off
+// the source database (shared by every shallow copy of it), so the cached
+// tables live exactly as long as the database they derive from.
+type recompileMemo struct {
+	mu     sync.Mutex
+	byGBps map[float64]*DB
 }
 
 // PerfPoint is the outcome of one interval at one setting — the quantity
@@ -88,10 +129,10 @@ func DefaultBuildOptions() BuildOptions {
 	}
 }
 
-// Build runs SimPoint analysis on every benchmark and then detailed
-// simulation of every (benchmark, phase) pair across the configuration
-// space, using a parallel worker pool. The result is deterministic and
-// independent of the worker count.
+// Build runs SimPoint analysis on every benchmark, detailed simulation of
+// every (benchmark, phase) pair across the configuration space, and table
+// compilation over the setting lattice, using a parallel worker pool. The
+// result is deterministic and independent of the worker count.
 func Build(sys arch.SystemConfig, benches []*trace.Benchmark, opt BuildOptions) (*DB, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -100,28 +141,36 @@ func Build(sys arch.SystemConfig, benches []*trace.Benchmark, opt BuildOptions) 
 		opt.Workers = 1
 	}
 	db := &DB{
-		Sys:      sys,
-		Power:    power.DefaultParams(sys),
-		Phases:   make(map[PhaseKey]*PhaseRecord),
-		Analyses: make(map[string]*simpoint.Analysis),
+		Sys:     sys,
+		Power:   power.DefaultParams(sys),
+		Lattice: sys.Lattice(),
+		memo:    newRecompileMemo(),
 	}
 
 	type job struct {
 		bench *trace.Benchmark
-		an    *simpoint.Analysis
+		data  *BenchData
 		phase int
 	}
 	var jobs []job
 	for _, b := range benches {
 		an := simpoint.Analyze(b, opt.SimPoint)
-		db.Analyses[b.Name] = an
+		bd := &BenchData{
+			Name:       b.Name,
+			Analysis:   an,
+			Phases:     make([]*PhaseRecord, an.NumPhases),
+			PerfTables: make([][]PerfPoint, an.NumPhases),
+		}
+		db.Benches = append(db.Benches, bd)
 		for p := 0; p < an.NumPhases; p++ {
-			jobs = append(jobs, job{bench: b, an: an, phase: p})
+			jobs = append(jobs, job{bench: b, data: bd, phase: p})
 		}
 	}
+	db.reindex()
 
+	// Every job writes a distinct (bench, phase) slot, so the pool needs no
+	// locking; the semaphore only bounds parallelism.
 	var (
-		mu  sync.Mutex
 		wg  sync.WaitGroup
 		sem = make(chan struct{}, opt.Workers)
 	)
@@ -131,14 +180,112 @@ func Build(sys arch.SystemConfig, benches []*trace.Benchmark, opt BuildOptions) 
 		go func(j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rec := simulatePhase(sys, j.bench, j.an, j.phase, opt.Sample)
-			mu.Lock()
-			db.Phases[PhaseKey{j.bench.Name, j.phase}] = rec
-			mu.Unlock()
+			rec := simulatePhase(db.Sys, j.bench, j.data.Analysis, j.phase, opt.Sample)
+			j.data.Phases[j.phase] = rec
+			j.data.PerfTables[j.phase] = compileTable(&db.Sys, db.Power, db.Lattice, rec)
 		}(j)
 	}
 	wg.Wait()
 	return db, nil
+}
+
+// reindex rebuilds the name → BenchID intern table and the in-memory-only
+// state gob does not carry.
+func (db *DB) reindex() {
+	db.byName = make(map[string]BenchID, len(db.Benches))
+	for i, bd := range db.Benches {
+		db.byName[bd.Name] = BenchID(i)
+	}
+	if db.memo == nil {
+		db.memo = newRecompileMemo()
+	}
+}
+
+func newRecompileMemo() *recompileMemo {
+	return &recompileMemo{byGBps: make(map[float64]*DB)}
+}
+
+// compileTable evaluates the detailed model at every lattice point.
+func compileTable(sys *arch.SystemConfig, pw power.Params, lat arch.Lattice, rec *PhaseRecord) []PerfPoint {
+	tab := make([]PerfPoint, lat.Len())
+	for i := range tab {
+		tab[i] = evalPerf(sys, pw, rec, lat.Setting(i))
+	}
+	return tab
+}
+
+// Recompiled returns a database that shares this one's detailed-simulation
+// records but evaluates them under a different system configuration: the
+// per-phase performance tables are recompiled against sys. Used by the
+// sweep engine for overrides (e.g. the per-core memory-bandwidth ablation)
+// that change the derived model but not the underlying profiles. The
+// technology power parameters are carried over unchanged, matching the
+// historical shallow-clone semantics.
+func (db *DB) Recompiled(sys arch.SystemConfig) *DB {
+	out := &DB{
+		Sys:     sys,
+		Power:   db.Power,
+		Lattice: sys.Lattice(),
+		Benches: make([]*BenchData, len(db.Benches)),
+		memo:    newRecompileMemo(),
+	}
+	var (
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	)
+	for i, bd := range db.Benches {
+		nbd := &BenchData{
+			Name:       bd.Name,
+			Analysis:   bd.Analysis,
+			Phases:     bd.Phases,
+			PerfTables: make([][]PerfPoint, len(bd.Phases)),
+		}
+		out.Benches[i] = nbd
+		for p, rec := range bd.Phases {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(p int, rec *PhaseRecord) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				nbd.PerfTables[p] = compileTable(&out.Sys, out.Power, out.Lattice, rec)
+			}(p, rec)
+		}
+	}
+	wg.Wait()
+	out.reindex()
+	return out
+}
+
+// RecompiledCached is Recompiled memoized on the per-core bandwidth cap —
+// the only system override in this codebase that changes the compiled
+// tables. Repeated calls with the same cap (e.g. a sweep grid running many
+// mixes against a few bandwidth variants) compile once; perf-neutral
+// differences in sys (baseline frequency, switch costs) are applied to the
+// returned copy without recompiling. The memo lives and dies with the
+// receiver's source database.
+func (db *DB) RecompiledCached(sys arch.SystemConfig) *DB {
+	m := db.memo
+	if m == nil {
+		// Hand-constructed database (tests): no memo, compile directly.
+		return db.Recompiled(sys)
+	}
+	key := sys.Mem.PerCoreGBps
+	m.mu.Lock()
+	cached := m.byGBps[key]
+	m.mu.Unlock()
+	if cached == nil {
+		cached = db.Recompiled(sys)
+		m.mu.Lock()
+		if prior, ok := m.byGBps[key]; ok {
+			cached = prior // lost a race; keep the first compilation
+		} else {
+			m.byGBps[key] = cached
+		}
+		m.mu.Unlock()
+	}
+	out := *cached
+	out.Sys = sys
+	return &out
 }
 
 // simulatePhase performs the detailed simulation of one phase: it generates
@@ -213,27 +360,92 @@ func simulatePhase(sys arch.SystemConfig, b *trace.Benchmark, an *simpoint.Analy
 	return rec
 }
 
+// ---- interned fast path ----
+
+// BenchIDOf resolves a benchmark name to its dense identifier.
+func (db *DB) BenchIDOf(name string) (BenchID, bool) {
+	id, ok := db.byName[name]
+	return id, ok
+}
+
+// NumBenches returns the number of interned benchmarks.
+func (db *DB) NumBenches() int { return len(db.Benches) }
+
+// BenchName returns the name of an interned benchmark.
+func (db *DB) BenchName(id BenchID) string { return db.Benches[id].Name }
+
+// PerfAt returns the precomputed outcome of one interval of the phase at
+// the setting with the given lattice index. This is the RMA-simulator hot
+// path: a bounds-checked array read.
+func (db *DB) PerfAt(id BenchID, phase, latticeIdx int) *PerfPoint {
+	return &db.Benches[id].PerfTables[phase][latticeIdx]
+}
+
+// RecordAt returns the phase record by dense indices.
+func (db *DB) RecordAt(id BenchID, phase int) *PhaseRecord {
+	return db.Benches[id].Phases[phase]
+}
+
+// PhaseTraceAt returns the phase sequence of the benchmark's full execution
+// by dense identifier.
+func (db *DB) PhaseTraceAt(id BenchID) []int {
+	return db.Benches[id].Analysis.PhaseTrace
+}
+
+// ---- string-keyed compatibility API ----
+
+// bench resolves a name, with the historical error message.
+func (db *DB) bench(name string) (*BenchData, error) {
+	id, ok := db.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("simdb: no record for %s", name)
+	}
+	return db.Benches[id], nil
+}
+
 // Record returns the phase record, or an error naming the missing key.
 func (db *DB) Record(bench string, phase int) (*PhaseRecord, error) {
-	rec, ok := db.Phases[PhaseKey{bench, phase}]
+	bd, ok := db.byName[bench]
 	if !ok {
 		return nil, fmt.Errorf("simdb: no record for %s phase %d", bench, phase)
 	}
-	return rec, nil
+	ps := db.Benches[bd].Phases
+	if phase < 0 || phase >= len(ps) {
+		return nil, fmt.Errorf("simdb: no record for %s phase %d", bench, phase)
+	}
+	return ps[phase], nil
 }
 
-// Perf evaluates the detailed model for one interval of the given phase at
-// the given setting. This is the ground truth the RMA simulator uses.
+// Perf evaluates one interval of the given phase at the given setting.
+// This is the ground truth the RMA simulator uses, served from the
+// compiled lattice table.
 func (db *DB) Perf(bench string, phase int, s arch.Setting) (PerfPoint, error) {
+	id, ok := db.byName[bench]
+	if !ok {
+		return PerfPoint{}, fmt.Errorf("simdb: no record for %s phase %d", bench, phase)
+	}
+	tabs := db.Benches[id].PerfTables
+	if phase < 0 || phase >= len(tabs) {
+		return PerfPoint{}, fmt.Errorf("simdb: no record for %s phase %d", bench, phase)
+	}
+	return tabs[phase][db.Lattice.Index(s)], nil
+}
+
+// ReferencePerf evaluates the detailed model on the fly — the retained
+// reference implementation the lattice tables are compiled from. The
+// compiled Perf/PerfAt results are bit-identical to it by construction
+// (asserted by the golden tests).
+func (db *DB) ReferencePerf(bench string, phase int, s arch.Setting) (PerfPoint, error) {
 	rec, err := db.Record(bench, phase)
 	if err != nil {
 		return PerfPoint{}, err
 	}
-	return db.perfFromRecord(rec, s), nil
+	return evalPerf(&db.Sys, db.Power, rec, s), nil
 }
 
-// perfFromRecord computes performance and energy from a phase record.
-func (db *DB) perfFromRecord(rec *PhaseRecord, s arch.Setting) PerfPoint {
+// evalPerf computes performance and energy from a phase record by direct
+// model evaluation.
+func evalPerf(sys *arch.SystemConfig, pw power.Params, rec *PhaseRecord, s arch.Setting) PerfPoint {
 	const instr = float64(trace.SliceInstructions)
 	w := s.Ways
 	if w < 0 {
@@ -242,8 +454,8 @@ func (db *DB) perfFromRecord(rec *PhaseRecord, s arch.Setting) PerfPoint {
 	if w >= len(rec.Misses) {
 		w = len(rec.Misses) - 1
 	}
-	op := db.Sys.DVFS[s.FreqIdx]
-	cp := db.Sys.Cores[s.Size]
+	op := sys.DVFS[s.FreqIdx]
+	cp := sys.Cores[s.Size]
 
 	in := timing.Inputs{
 		Instr:         instr,
@@ -251,16 +463,16 @@ func (db *DB) perfFromRecord(rec *PhaseRecord, s arch.Setting) PerfPoint {
 		BranchMPKI:    rec.BranchMPKI,
 		LeadingMisses: rec.Leading[s.Size][w],
 		FreqGHz:       op.FreqGHz,
-		MemLatNs:      db.Sys.Mem.LatencyNs,
+		MemLatNs:      sys.Mem.LatencyNs,
 		Core:          cp,
 	}
 	cycles := timing.Cycles(in).Total()
 	secs := timing.Seconds(cycles, op.FreqGHz)
-	if cap := db.Sys.Mem.PerCoreGBps; cap > 0 {
+	if cap := sys.Mem.PerCoreGBps; cap > 0 {
 		// Bandwidth-partitioned memory controller: one refinement step of
 		// the demand/latency fixed point is ample at interval granularity.
-		demand := rec.Misses[w] * float64(db.Sys.LLC.LineB) / secs
-		in.MemLatNs = timing.BandwidthLatency(db.Sys.Mem.LatencyNs, demand, cap*1e9)
+		demand := rec.Misses[w] * float64(sys.LLC.LineB) / secs
+		in.MemLatNs = timing.BandwidthLatency(sys.Mem.LatencyNs, demand, cap*1e9)
 		cycles = timing.Cycles(in).Total()
 		secs = timing.Seconds(cycles, op.FreqGHz)
 	}
@@ -272,7 +484,7 @@ func (db *DB) perfFromRecord(rec *PhaseRecord, s arch.Setting) PerfPoint {
 		Core:        cp,
 		Op:          op,
 	}
-	eb := power.Energy(db.Power, act)
+	eb := power.Energy(pw, act)
 	return PerfPoint{
 		Instr:       instr,
 		Cycles:      cycles,
@@ -289,18 +501,46 @@ func (db *DB) perfFromRecord(rec *PhaseRecord, s arch.Setting) PerfPoint {
 
 // PhaseTrace returns the phase sequence of the benchmark's full execution.
 func (db *DB) PhaseTrace(bench string) ([]int, error) {
-	an, ok := db.Analyses[bench]
-	if !ok {
+	bd, err := db.bench(bench)
+	if err != nil {
 		return nil, fmt.Errorf("simdb: no analysis for %s", bench)
 	}
-	return an.PhaseTrace, nil
+	return bd.Analysis.PhaseTrace, nil
+}
+
+// Analysis returns the benchmark's SimPoint analysis, or nil when unknown.
+func (db *DB) Analysis(bench string) *simpoint.Analysis {
+	bd, ok := db.byName[bench]
+	if !ok {
+		return nil
+	}
+	return db.Benches[bd].Analysis
 }
 
 // NumPhases returns the number of phases for the benchmark.
 func (db *DB) NumPhases(bench string) int {
-	an, ok := db.Analyses[bench]
+	bd, ok := db.byName[bench]
 	if !ok {
 		return 0
 	}
-	return an.NumPhases
+	return db.Benches[bd].Analysis.NumPhases
+}
+
+// NumRecords returns the total number of (benchmark, phase) records.
+func (db *DB) NumRecords() int {
+	n := 0
+	for _, bd := range db.Benches {
+		n += len(bd.Phases)
+	}
+	return n
+}
+
+// BenchNames returns the benchmark names, sorted.
+func (db *DB) BenchNames() []string {
+	names := make([]string, len(db.Benches))
+	for i, bd := range db.Benches {
+		names[i] = bd.Name
+	}
+	sort.Strings(names)
+	return names
 }

@@ -2,7 +2,12 @@ package simdb
 
 import (
 	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"io"
 	"math"
+	"strings"
 	"testing"
 
 	"qosrma/internal/arch"
@@ -33,16 +38,29 @@ func testDB(t *testing.T) *DB {
 	return db
 }
 
+// forEachRecord visits every (benchmark, phase) record in the database.
+func forEachRecord(db *DB, f func(key PhaseKey, rec *PhaseRecord)) {
+	for _, bd := range db.Benches {
+		for p, rec := range bd.Phases {
+			f(PhaseKey{bd.Name, p}, rec)
+		}
+	}
+}
+
 func TestBuildCoversAllPhases(t *testing.T) {
 	db := testDB(t)
-	for name, an := range db.Analyses {
+	for _, bd := range db.Benches {
+		an := bd.Analysis
 		for p := 0; p < an.NumPhases; p++ {
-			rec, err := db.Record(name, p)
+			rec, err := db.Record(bd.Name, p)
 			if err != nil {
 				t.Fatalf("missing record: %v", err)
 			}
 			if len(rec.Misses) != db.Sys.LLC.Assoc+1 {
-				t.Fatalf("%s/%d: profile length %d", name, p, len(rec.Misses))
+				t.Fatalf("%s/%d: profile length %d", bd.Name, p, len(rec.Misses))
+			}
+			if len(bd.PerfTables[p]) != db.Lattice.Len() {
+				t.Fatalf("%s/%d: table length %d, lattice %d", bd.Name, p, len(bd.PerfTables[p]), db.Lattice.Len())
 			}
 		}
 	}
@@ -50,7 +68,7 @@ func TestBuildCoversAllPhases(t *testing.T) {
 
 func TestMissProfilesMonotone(t *testing.T) {
 	db := testDB(t)
-	for key, rec := range db.Phases {
+	forEachRecord(db, func(key PhaseKey, rec *PhaseRecord) {
 		for w := 1; w < len(rec.Misses); w++ {
 			if rec.Misses[w] > rec.Misses[w-1]+1e-9 {
 				t.Fatalf("%v: exact misses increase at w=%d", key, w)
@@ -63,12 +81,12 @@ func TestMissProfilesMonotone(t *testing.T) {
 				}
 			}
 		}
-	}
+	})
 }
 
 func TestLeadingBelowTotalMisses(t *testing.T) {
 	db := testDB(t)
-	for key, rec := range db.Phases {
+	forEachRecord(db, func(key PhaseKey, rec *PhaseRecord) {
 		for c := range rec.Leading {
 			for w := range rec.Leading[c] {
 				if rec.Leading[c][w] > rec.Misses[w]+1e-9 {
@@ -76,12 +94,12 @@ func TestLeadingBelowTotalMisses(t *testing.T) {
 				}
 			}
 		}
-	}
+	})
 }
 
 func TestLargerCoreNeverMoreLeadingMisses(t *testing.T) {
 	db := testDB(t)
-	for key, rec := range db.Phases {
+	forEachRecord(db, func(key PhaseKey, rec *PhaseRecord) {
 		for w := range rec.Misses {
 			small := rec.Leading[arch.SizeSmall][w]
 			large := rec.Leading[arch.SizeLarge][w]
@@ -90,7 +108,7 @@ func TestLargerCoreNeverMoreLeadingMisses(t *testing.T) {
 					key, w, large, small)
 			}
 		}
-	}
+	})
 }
 
 func TestMcfIsCacheSensitiveLibquantumIsNot(t *testing.T) {
@@ -177,33 +195,33 @@ func TestPerfUnknownBench(t *testing.T) {
 
 func TestSampledProfilesApproximateExact(t *testing.T) {
 	db := testDB(t)
-	for key, rec := range db.Phases {
+	forEachRecord(db, func(key PhaseKey, rec *PhaseRecord) {
 		// Compare at the baseline allocation; sampling noise must be
 		// bounded for the heavy-traffic phases that matter.
 		w := db.Sys.BaselineWays()
 		if rec.Misses[w] < 1e5 {
-			continue // tiny counts are allowed to be noisy
+			return // tiny counts are allowed to be noisy
 		}
 		rel := math.Abs(rec.SampledMisses[w]-rec.Misses[w]) / rec.Misses[w]
 		if rel > 0.25 {
 			t.Errorf("%v: sampled profile off by %.1f%%", key, rel*100)
 		}
-	}
+	})
 }
 
 func TestWeightsConsistentWithAnalyses(t *testing.T) {
 	db := testDB(t)
-	for name, an := range db.Analyses {
+	for _, bd := range db.Benches {
 		var sum float64
-		for p := 0; p < an.NumPhases; p++ {
-			rec, err := db.Record(name, p)
+		for p := 0; p < bd.Analysis.NumPhases; p++ {
+			rec, err := db.Record(bd.Name, p)
 			if err != nil {
 				t.Fatal(err)
 			}
 			sum += rec.Weight
 		}
 		if math.Abs(sum-1) > 1e-9 {
-			t.Fatalf("%s: phase weights sum to %v", name, sum)
+			t.Fatalf("%s: phase weights sum to %v", bd.Name, sum)
 		}
 	}
 }
@@ -218,8 +236,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if len(db2.Phases) != len(db.Phases) {
-		t.Fatalf("phase count %d != %d", len(db2.Phases), len(db.Phases))
+	if db2.NumRecords() != db.NumRecords() {
+		t.Fatalf("phase count %d != %d", db2.NumRecords(), db.NumRecords())
 	}
 	s := db.Sys.BaselineSetting()
 	p1, _ := db.Perf("mcf", 0, s)
@@ -229,6 +247,108 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if p1.EPI != p2.EPI || p1.TPI != p2.TPI {
 		t.Fatal("round-tripped database disagrees")
+	}
+}
+
+// TestSaveLoadRoundTripsCompiledTables asserts that the serialized form
+// carries the compiled lattice tables verbatim: every stored PerfPoint of
+// every phase survives bit-for-bit, and the loaded database is query-ready.
+func TestSaveLoadRoundTripsCompiledTables(t *testing.T) {
+	db := testDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if db2.Lattice != db.Lattice {
+		t.Fatalf("lattice %+v != %+v", db2.Lattice, db.Lattice)
+	}
+	for i, bd := range db.Benches {
+		bd2 := db2.Benches[i]
+		if bd2.Name != bd.Name || len(bd2.PerfTables) != len(bd.PerfTables) {
+			t.Fatalf("bench %d mismatch: %s/%d vs %s/%d",
+				i, bd2.Name, len(bd2.PerfTables), bd.Name, len(bd.PerfTables))
+		}
+		for p := range bd.PerfTables {
+			if len(bd2.PerfTables[p]) != len(bd.PerfTables[p]) {
+				t.Fatalf("%s/%d: table length %d != %d", bd.Name, p,
+					len(bd2.PerfTables[p]), len(bd.PerfTables[p]))
+			}
+			for j := range bd.PerfTables[p] {
+				if bd2.PerfTables[p][j] != bd.PerfTables[p][j] {
+					t.Fatalf("%s/%d: table entry %d differs", bd.Name, p, j)
+				}
+			}
+		}
+	}
+	// The intern index must be rebuilt: the interned fast path works.
+	id, ok := db2.BenchIDOf("mcf")
+	if !ok {
+		t.Fatal("loaded database lost the intern index")
+	}
+	if pt := db2.PerfAt(id, 0, db2.Lattice.Index(db2.Sys.BaselineSetting())); pt.IPS <= 0 {
+		t.Fatalf("degenerate loaded perf point: %+v", pt)
+	}
+}
+
+func TestLoadRejectsOldFormat(t *testing.T) {
+	// A version-1 database was a bare gob stream inside gzip, no magic.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(struct{ Whatever int }{42}); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	_, err := Load(&buf)
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("old format not rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	io.WriteString(zw, "QOSRMADB")
+	binary.Write(zw, binary.LittleEndian, uint32(99))
+	zw.Close()
+	_, err := Load(&buf)
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("wrong version not rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("not gzip at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+
+	// Truncated stream: cut a valid database off mid-way.
+	db := testDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated database accepted")
+	}
+
+	// Structurally broken: tables missing for a phase. Re-encode a mutated
+	// copy through the same writer and expect validation to reject it.
+	mutant := *db
+	mutant.Benches = append([]*BenchData(nil), db.Benches...)
+	bd := *mutant.Benches[0]
+	bd.PerfTables = bd.PerfTables[:0]
+	mutant.Benches[0] = &bd
+	var mbuf bytes.Buffer
+	if err := mutant.Save(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&mbuf)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("structurally broken database not rejected: %v", err)
 	}
 }
 
@@ -247,9 +367,9 @@ func TestBuildDeterministicAcrossWorkerCounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for key, r1 := range db1.Phases {
-		r8 := db8.Phases[key]
-		if r8 == nil {
+	forEachRecord(db1, func(key PhaseKey, r1 *PhaseRecord) {
+		r8, err := db8.Record(key.Bench, key.Phase)
+		if err != nil {
 			t.Fatalf("missing %v in 8-worker build", key)
 		}
 		for w := range r1.Misses {
@@ -257,7 +377,7 @@ func TestBuildDeterministicAcrossWorkerCounts(t *testing.T) {
 				t.Fatalf("%v: miss profile differs at w=%d", key, w)
 			}
 		}
-	}
+	})
 }
 
 func TestBuildRejectsInvalidSystem(t *testing.T) {

@@ -82,7 +82,7 @@ func (s *RunSpec) Key() string {
 		sw = 0
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "sys=%+v|db=%d/%d|", s.DB.Sys, len(s.DB.Phases), len(s.DB.Analyses))
+	fmt.Fprintf(h, "sys=%+v|db=%d/%d|", s.DB.Sys, s.DB.NumRecords(), s.DB.NumBenches())
 	fmt.Fprintf(h, "apps=%q|scheme=%d|model=%d|oracle=%t|slack=%v|",
 		s.Mix.Apps, s.Scheme, s.Model, s.Oracle, s.effectiveSlack(s.DB.Sys.NumCores))
 	fmt.Fprintf(h, "bfreq=%d|feedback=%t|switch=%g|gbps=%g",
@@ -97,15 +97,17 @@ func Execute(spec RunSpec) (*rmasim.Result, error) {
 	needClone := (spec.BaselineFreqIdx >= 0 && spec.BaselineFreqIdx != db.Sys.BaselineFreqIdx) ||
 		spec.SwitchScale > 0 || spec.PerCoreGBps > 0
 	if needClone {
-		// The database contents (profiles) are independent of these
-		// parameters; only the derived model changes, so a shallow copy
-		// with a modified system config is sufficient.
-		clone := *db
+		// The database profiles are independent of these parameters; only
+		// the derived model changes. The baseline and switch-cost overrides
+		// leave the per-setting performance points untouched, so a shallow
+		// copy suffices; a bandwidth override changes the ground-truth
+		// timing model and therefore recompiles the lattice tables.
+		sys := db.Sys
 		if spec.BaselineFreqIdx >= 0 {
-			clone.Sys.BaselineFreqIdx = spec.BaselineFreqIdx
+			sys.BaselineFreqIdx = spec.BaselineFreqIdx
 		}
 		if spec.SwitchScale > 0 {
-			sw := &clone.Sys.Switch
+			sw := &sys.Switch
 			sw.DVFSTransNs *= spec.SwitchScale
 			sw.CoreResizeNs *= spec.SwitchScale
 			sw.WayMigrateNs *= spec.SwitchScale
@@ -113,10 +115,14 @@ func Execute(spec RunSpec) (*rmasim.Result, error) {
 			sw.CoreResizeJ *= spec.SwitchScale
 			sw.WayMigrateJ *= spec.SwitchScale
 		}
-		if spec.PerCoreGBps > 0 {
-			clone.Sys.Mem.PerCoreGBps = spec.PerCoreGBps
+		if spec.PerCoreGBps > 0 && spec.PerCoreGBps != db.Sys.Mem.PerCoreGBps {
+			sys.Mem.PerCoreGBps = spec.PerCoreGBps
+			db = db.RecompiledCached(sys)
+		} else {
+			clone := *db
+			clone.Sys = sys
+			db = &clone
 		}
-		db = &clone
 	}
 	mgr := core.NewManager(core.Config{
 		Sys:      db.Sys,

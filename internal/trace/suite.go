@@ -1,6 +1,10 @@
 package trace
 
-import "qosrma/internal/stats"
+import (
+	"sync"
+
+	"qosrma/internal/stats"
+)
 
 // Suite returns the 20-application synthetic benchmark suite modeled after
 // SPEC CPU2006. Names follow the SPEC programs whose published behaviour
@@ -18,7 +22,27 @@ import "qosrma/internal/stats"
 // sphinx3, libquantum, lbm, milc, bwaves, leslie3d, gcc. Parallelism-
 // insensitive: the pointer chasers (mcf, omnetpp, xalancbmk, astar) and the
 // compute-bound programs.
+//
+// The suite is constructed once per process and memoized; Suite returns a
+// fresh top-level slice over the shared, immutable *Benchmark values, so
+// repeated calls (facade listings, database builds) cost nothing. Callers
+// must treat the pointed-to benchmarks as read-only.
 func Suite() []*Benchmark {
+	return append([]*Benchmark(nil), cachedSuite()...)
+}
+
+var cachedSuite = sync.OnceValue(buildSuite)
+
+// suiteByName indexes the memoized suite for ByName lookups.
+var suiteByName = sync.OnceValue(func() map[string]*Benchmark {
+	m := make(map[string]*Benchmark)
+	for _, b := range cachedSuite() {
+		m[b.Name] = b
+	}
+	return m
+})
+
+func buildSuite() []*Benchmark {
 	var suite []*Benchmark
 	add := func(name string, slices []int, behaviors ...Behavior) {
 		suite = append(suite, &Benchmark{
@@ -210,10 +234,5 @@ func Suite() []*Benchmark {
 
 // ByName returns the suite benchmark with the given name, or nil.
 func ByName(name string) *Benchmark {
-	for _, b := range Suite() {
-		if b.Name == name {
-			return b
-		}
-	}
-	return nil
+	return suiteByName()[name]
 }

@@ -12,7 +12,6 @@ package workload
 
 import (
 	"fmt"
-	"sort"
 
 	"qosrma/internal/simdb"
 	"qosrma/internal/trace"
@@ -82,8 +81,8 @@ type Profile struct {
 
 // Characterize measures one benchmark against the database.
 func Characterize(db *simdb.DB, bench string) (*Profile, error) {
-	an, ok := db.Analyses[bench]
-	if !ok {
+	an := db.Analysis(bench)
+	if an == nil {
 		return nil, fmt.Errorf("workload: unknown benchmark %s", bench)
 	}
 	assoc := db.Sys.LLC.Assoc
@@ -146,11 +145,7 @@ func Characterize(db *simdb.DB, bench string) (*Profile, error) {
 // CharacterizeAll profiles every benchmark present in the database,
 // sorted by name for determinism.
 func CharacterizeAll(db *simdb.DB) ([]*Profile, error) {
-	names := make([]string, 0, len(db.Analyses))
-	for name := range db.Analyses {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := db.BenchNames()
 	out := make([]*Profile, 0, len(names))
 	for _, n := range names {
 		p, err := Characterize(db, n)

@@ -11,11 +11,23 @@
 //     ATD extension (internal/cache),
 //   - an interval-analysis core timing model and a McPAT-style power model
 //     (internal/timing, internal/power),
-//   - the offline detailed-simulation database (internal/simdb),
+//   - the offline detailed-simulation database, compiled at build time into
+//     dense per-phase performance tables over the (core size × DVFS level ×
+//     ways) setting lattice (internal/simdb, internal/arch.Lattice),
 //   - the QoS-driven coordinated resource managers (internal/core),
 //   - the co-phase RMA simulator (internal/rmasim), and
 //   - the scenario-sweep engine with its memoizing result cache
 //     (internal/sweep), reachable through System.Sweep.
+//
+// The compiled-lattice design follows the thesis methodology (Figure 2.1)
+// to its conclusion: simulate in detail once, then answer every query by
+// index arithmetic. Benchmark names are interned to dense identifiers, each
+// phase's interval outcome is precomputed for every lattice point, and the
+// RMA simulator's hot path is a bounds-checked array read (~1.1 ns, was
+// ~82 ns of model re-evaluation), which in turn cuts a full co-phase
+// workload simulation to roughly a third of its former runtime (~2.9×; see
+// the README's benchmark table) and the sweep-heavy paper experiments
+// proportionally.
 //
 // Quick start:
 //
@@ -28,6 +40,7 @@ package qosrma
 
 import (
 	"fmt"
+	"sync"
 
 	"qosrma/internal/arch"
 	"qosrma/internal/core"
@@ -133,14 +146,21 @@ func (s *System) DB() *simdb.DB { return s.db }
 // Config returns the hardware configuration.
 func (s *System) Config() SystemConfig { return s.db.Sys }
 
-// Benchmarks lists the names of the available benchmark applications.
-func Benchmarks() []string {
+// benchmarkNames memoizes the suite's name list; the synthetic suite is
+// built once per process (trace.Suite is itself memoized) and the facade
+// never rebuilds it per call.
+var benchmarkNames = sync.OnceValue(func() []string {
 	suite := trace.Suite()
 	names := make([]string, len(suite))
 	for i, b := range suite {
 		names[i] = b.Name
 	}
 	return names
+})
+
+// Benchmarks lists the names of the available benchmark applications.
+func Benchmarks() []string {
+	return append([]string(nil), benchmarkNames()...)
 }
 
 // runConfig collects the optional knobs of System.Run.

@@ -15,6 +15,9 @@ var (
 
 func testSystem(t *testing.T) *System {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping multi-second system build in -short mode")
+	}
 	sysOnce.Do(func() { sysInst, sysErr = NewSystem(4) })
 	if sysErr != nil {
 		t.Fatal(sysErr)
