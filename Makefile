@@ -13,14 +13,17 @@ BENCH_NEW ?= bench.new.txt
 BENCH_DIFF ?= benchdiff.txt
 
 # Micro-benchmarks of the hot kernels (excludes the full experiment
-# regenerations and the multi-second database build): the set benchdiff
-# tracks against the committed baseline.
-MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|CurveReduction|TreeReduction16Core|SimDBLookup|SimDBReferenceEval|RMASimRun|RMAOverhead|RM3Overhead
+# regenerations): the set benchdiff tracks against the committed baseline.
+# Query side: SimDBLookup/RMASimRun/... Build side: StackDistances,
+# LeadingMissSurface (fused all-(c,w) profile), SimulatePhase (per-phase
+# kernel) and EnvBuild (cold full environment — the headline build-side
+# wall time, also recorded in the CI bench artifact).
+MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulatePhase|CurveReduction|TreeReduction16Core|SimDBLookup|SimDBReferenceEval|RMASimRun|RMAOverhead|RM3Overhead|EnvBuild
 # benchbase and benchdiff must measure under identical flags, or the
 # benchstat comparison is noise.
 MICRO_FLAGS ?= -benchtime=0.2s -count=5
 
-.PHONY: all build test test-short lint bench benchbase benchdiff clean
+.PHONY: all build test test-short lint bench benchbase benchdiff pprof clean
 
 all: build lint test
 
@@ -62,6 +65,14 @@ benchdiff:
 		$(GO) run golang.org/x/perf/cmd/benchstat@latest $(BENCH_BASE) $(BENCH_NEW) | tee $(BENCH_DIFF); \
 	fi
 
+# CPU-profile the build side: one cold SharedEnv construction plus the hot
+# profiling kernels, then print the top consumers. cpu.prof stays on disk
+# for `go tool pprof` drill-down (web/peek/list).
+pprof:
+	$(GO) test -run '^$$' -bench 'EnvBuild|SimulatePhase|LeadingMissSurface|StackDistances' \
+		-benchtime=0.5s -count=1 -cpuprofile cpu.prof -o qosrma.test .
+	$(GO) tool pprof -top -nodecount=25 qosrma.test cpu.prof | tee pprof.txt
+
 clean:
-	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF)
+	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF) cpu.prof pprof.txt qosrma.test
 	$(GO) clean ./...

@@ -15,6 +15,7 @@ import (
 	"qosrma/internal/core"
 	"qosrma/internal/experiments"
 	"qosrma/internal/simdb"
+	"qosrma/internal/simpoint"
 	"qosrma/internal/stats"
 	"qosrma/internal/trace"
 )
@@ -376,11 +377,12 @@ func BenchmarkStackDistances(b *testing.B) {
 	s := bh.Generate(7, trace.SampleParams{Accesses: 20000})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cache.Distances(1024, 16, s.Measured)
+		cache.Distances(1024, 16, nil, s.Measured)
 	}
 }
 
-// BenchmarkMLPAnalysis measures the MLP-ATD leading-miss detection.
+// BenchmarkMLPAnalysis measures the MLP-ATD leading-miss detection for a
+// single (core, ways) point — the unit of the pre-fusion per-point loop.
 func BenchmarkMLPAnalysis(b *testing.B) {
 	bh := trace.Behavior{
 		Name: "bench", IlpIPC: 3, APKI: 20,
@@ -388,10 +390,44 @@ func BenchmarkMLPAnalysis(b *testing.B) {
 		PBurst: 0.4, BurstLen: 10, BurstGap: 6, PDep: 0.1,
 	}
 	s := bh.Generate(9, trace.SampleParams{Accesses: 20000})
-	dists := cache.Distances(1024, 16, s.Measured)
+	dists := cache.Distances(1024, 16, nil, s.Measured)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cache.AnalyzeMLP(s.Measured, dists, 4, 128, 8)
+	}
+}
+
+// BenchmarkLeadingMissSurface measures the fused one-pass profiler
+// producing the complete Leading[c][w] surface (3 core sizes × 17 way
+// allocations) plus both miss histograms in one call — the work the naive
+// pipeline needed ~51 AnalyzeMLP passes and two ATD passes for.
+func BenchmarkLeadingMissSurface(b *testing.B) {
+	bh := trace.Behavior{
+		Name: "bench", IlpIPC: 3, APKI: 20,
+		HotLines: 500, PHot: 0.2,
+		PBurst: 0.4, BurstLen: 10, BurstGap: 6, PDep: 0.1,
+	}
+	s := bh.Generate(9, trace.SampleParams{Accesses: 20000})
+	cores := []cache.CoreMLPParams{
+		{ROB: 64, MSHRs: 8}, {ROB: 128, MSHRs: 8}, {ROB: 256, MSHRs: 16},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.ProfileStream(1024, 16, 32, nil, s.Measured, cores)
+	}
+}
+
+// BenchmarkSimulatePhase measures the uncached detailed simulation of one
+// phase — stream generation plus the fused profiling pass plus record
+// derivation, the per-phase unit of database construction.
+func BenchmarkSimulatePhase(b *testing.B) {
+	sys := arch.DefaultSystemConfig(4)
+	bench := trace.ByName("gcc")
+	an := simpoint.Analyze(bench, simpoint.DefaultOptions())
+	sp := trace.DefaultSampleParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simdb.SimulatePhase(sys, bench, an, 0, sp)
 	}
 }
 
@@ -508,13 +544,32 @@ func BenchmarkRMASimRun(b *testing.B) {
 
 // BenchmarkSimDBBuild measures the offline detailed-simulation step for one
 // benchmark (the thesis Figure 2.1 database construction, per application).
+// The process-wide profile cache is reset each iteration so the cold build
+// cost is what is measured.
 func BenchmarkSimDBBuild(b *testing.B) {
 	sys := benchEnv(b).DB4.Sys
 	bench := trace.ByName("gcc")
 	opt := simdb.DefaultBuildOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		simdb.ResetProfileCache()
 		if _, err := simdb.Build(sys, []*trace.Benchmark{bench}, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnvBuild measures the full offline environment construction —
+// both databases, characterizations and mixes — cold (profile cache reset
+// each iteration). This is the build-side headline number recorded in the
+// CI bench artifact; the query-side counterpart is BenchmarkSimDBLookup.
+func BenchmarkEnvBuild(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping multi-second environment build in -short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		simdb.ResetProfileCache()
+		if _, err := experiments.BuildEnv(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -180,9 +180,29 @@ func TestATDReset(t *testing.T) {
 	}
 }
 
+func TestDistancesMatchesAccessPath(t *testing.T) {
+	// The specialized exact-pass loop must agree element-for-element with
+	// per-access ATD.Access calls, warm-up included.
+	stream := randomStream(21, 12000, 900)
+	warm, meas := stream[:3000], stream[3000:]
+	for _, geo := range []struct{ sets, assoc int }{{256, 16}, {100, 12}, {64, 4}} {
+		got := Distances(geo.sets, geo.assoc, warm, meas)
+		atd := NewATD(geo.sets, geo.assoc, 1)
+		for _, a := range warm {
+			atd.Access(a.Line)
+		}
+		for i, a := range meas {
+			if want := int16(atd.Access(a.Line)); got[i] != want {
+				t.Fatalf("sets=%d assoc=%d: distance %d = %d, Access says %d",
+					geo.sets, geo.assoc, i, got[i], want)
+			}
+		}
+	}
+}
+
 func TestDistancesConsistentWithMissCount(t *testing.T) {
 	stream := randomStream(14, 20000, 1500)
-	dists := Distances(256, 16, stream)
+	dists := Distances(256, 16, nil, stream)
 	atd := NewATD(256, 16, 1)
 	for _, a := range stream {
 		atd.Access(a.Line)
@@ -196,7 +216,7 @@ func TestDistancesConsistentWithMissCount(t *testing.T) {
 
 func TestMLPLeadingNeverExceedsTotal(t *testing.T) {
 	stream := randomStream(15, 20000, 1000)
-	dists := Distances(256, 16, stream)
+	dists := Distances(256, 16, nil, stream)
 	for _, w := range []int{1, 4, 8} {
 		r := AnalyzeMLP(stream, dists, w, 128, 8)
 		if r.LeadingMisses > r.TotalMisses {
@@ -219,7 +239,7 @@ func TestMLPGrowsWithCoreSize(t *testing.T) {
 		PBurst: 0.5, BurstLen: 12, BurstGap: 5, PDep: 0.05,
 	}
 	s := bh.Generate(42, trace.SampleParams{Accesses: 30000})
-	dists := Distances(1024, 16, s.Measured)
+	dists := Distances(1024, 16, nil, s.Measured)
 	small := AnalyzeMLP(s.Measured, dists, 4, 48, 4)
 	large := AnalyzeMLP(s.Measured, dists, 4, 256, 16)
 	if large.MLP() <= small.MLP()*1.2 {
@@ -235,7 +255,7 @@ func TestMLPDependentStreamStaysSerial(t *testing.T) {
 		PBurst: 0.2, BurstLen: 3, BurstGap: 20, PDep: 0.95,
 	}
 	s := bh.Generate(43, trace.SampleParams{Accesses: 30000})
-	dists := Distances(1024, 16, s.Measured)
+	dists := Distances(1024, 16, nil, s.Measured)
 	small := AnalyzeMLP(s.Measured, dists, 4, 48, 4)
 	large := AnalyzeMLP(s.Measured, dists, 4, 256, 16)
 	if large.MLP() > small.MLP()*1.15 {
@@ -249,7 +269,7 @@ func TestMLPDependentStreamStaysSerial(t *testing.T) {
 
 func TestMLPProfileShape(t *testing.T) {
 	stream := randomStream(16, 10000, 600)
-	dists := Distances(256, 8, stream)
+	dists := Distances(256, 8, nil, stream)
 	prof := MLPProfile(stream, dists, 8, 128, 8)
 	if len(prof) != 9 {
 		t.Fatalf("profile length %d", len(prof))

@@ -29,19 +29,24 @@ type Env struct {
 	MixesII   []workload.Mix // the 16 Paper II category-pair mixes
 }
 
-// BuildEnv constructs the shared environment. It is deterministic.
+// BuildEnv constructs the shared environment. It is deterministic. The 4-
+// and 8-core databases are built together on one worker pool
+// (simdb.BuildAll): their per-phase jobs interleave, SimPoint analyses are
+// computed once, and — because the two systems share every
+// profile-relevant parameter — each phase's detailed simulation runs once
+// and serves both databases through the process-wide profile cache.
 func BuildEnv() (*Env, error) {
 	suite := trace.Suite()
 	opt := simdb.DefaultBuildOptions()
 
-	db4, err := simdb.Build(arch.DefaultSystemConfig(4), suite, opt)
+	dbs, err := simdb.BuildAll([]arch.SystemConfig{
+		arch.DefaultSystemConfig(4),
+		arch.DefaultSystemConfig(8),
+	}, suite, opt)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: 4-core db: %w", err)
+		return nil, fmt.Errorf("experiments: build databases: %w", err)
 	}
-	db8, err := simdb.Build(arch.DefaultSystemConfig(8), suite, opt)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: 8-core db: %w", err)
-	}
+	db4, db8 := dbs[0], dbs[1]
 	p4, err := workload.CharacterizeAll(db4)
 	if err != nil {
 		return nil, err

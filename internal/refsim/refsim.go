@@ -47,8 +47,10 @@ type miss struct {
 	ready float64 // cycle at which data returns
 }
 
-// Run executes the window. accs and dists are the sampled access stream and
-// its per-access LRU stack distances (from cache.Distances).
+// Run executes the window. accs is the measured sample access stream and
+// dists its per-access LRU stack distances, as computed by
+// cache.Distances(sets, assoc, warmup, accs) — the shared exact-ATD pass,
+// which warms the tag stacks with the warm-up prefix before measuring.
 func Run(cfg Config, accs []trace.Access, dists []int16) Result {
 	effIPC := cfg.IlpIPC
 	if w := float64(cfg.Core.Width); effIPC > w {

@@ -10,18 +10,11 @@ import (
 	"qosrma/internal/trace"
 )
 
-// window generates a sample window for one behaviour.
+// window generates a sample window for one behaviour; cache.Distances is
+// the one shared implementation of the warmed exact ATD pass.
 func window(bh trace.Behavior, seed uint64) (*trace.Stream, []int16) {
 	s := bh.Generate(seed, trace.SampleParams{Accesses: 20000, WarmupAccesses: 4000})
-	atd := cache.NewATD(1024, 16, 1)
-	for _, a := range s.Warmup {
-		atd.Access(a.Line)
-	}
-	dists := make([]int16, len(s.Measured))
-	for i, a := range s.Measured {
-		dists[i] = int16(atd.Access(a.Line))
-	}
-	return s, dists
+	return s, cache.Distances(1024, 16, s.Warmup, s.Measured)
 }
 
 func refConfig(bh trace.Behavior, sys arch.SystemConfig, size arch.CoreSize, ways int, stream *trace.Stream) Config {

@@ -62,10 +62,16 @@ func Analyze(b *trace.Benchmark, opt Options) *Analysis {
 		opt.BICThreshold = 0.9
 	}
 
+	// One contiguous backing array for all signatures: the k-means inner
+	// loops then stream sequential memory instead of chasing per-slice
+	// allocations.
+	backing := make([]float64, n*trace.NumSignatureBlocks)
 	points := make([][]float64, n)
 	for i := 0; i < n; i++ {
 		sig := b.SliceSignature(i)
-		points[i] = sig[:]
+		row := backing[i*trace.NumSignatureBlocks : (i+1)*trace.NumSignatureBlocks]
+		copy(row, sig[:])
+		points[i] = row
 	}
 
 	type kResult struct {
@@ -132,21 +138,21 @@ func kmeans(points [][]float64, k, iters int, seed uint64) (assign []int, cents 
 	dim := len(points[0])
 	rng := stats.NewRNG(seed)
 
-	// k-means++ seeding.
+	// k-means++ seeding. d2[i] is maintained incrementally as the minimum
+	// squared distance to the centroids chosen so far: folding in each new
+	// centroid with the same left-to-right min as a full rescan keeps the
+	// values (and therefore the seeded centroids) bit-identical to the
+	// original O(k²n) recomputation.
 	cents = make([][]float64, 0, k)
 	first := rng.Intn(n)
 	cents = append(cents, append([]float64(nil), points[first]...))
 	d2 := make([]float64, n)
+	for i, p := range points {
+		d2[i] = sqDist(p, cents[0])
+	}
 	for len(cents) < k {
 		var total float64
-		for i, p := range points {
-			d := sqDist(p, cents[0])
-			for _, c := range cents[1:] {
-				if dd := sqDist(p, c); dd < d {
-					d = dd
-				}
-			}
-			d2[i] = d
+		for _, d := range d2 {
 			total += d
 		}
 		var next int
@@ -164,6 +170,12 @@ func kmeans(points [][]float64, k, iters int, seed uint64) (assign []int, cents 
 			}
 		}
 		cents = append(cents, append([]float64(nil), points[next]...))
+		newest := cents[len(cents)-1]
+		for i, p := range points {
+			if dd := sqDist(p, newest); dd < d2[i] {
+				d2[i] = dd
+			}
+		}
 	}
 
 	assign = make([]int, n)
@@ -172,7 +184,7 @@ func kmeans(points [][]float64, k, iters int, seed uint64) (assign []int, cents 
 		for i, p := range points {
 			best, bd := 0, math.Inf(1)
 			for c := range cents {
-				if d := sqDist(p, cents[c]); d < bd {
+				if d, below := sqDistBelow(p, cents[c], bd); below {
 					best, bd = c, d
 				}
 			}
@@ -254,6 +266,31 @@ func sqDist(a, b []float64) float64 {
 		d += diff * diff
 	}
 	return d
+}
+
+// sqDistBelow reports whether the squared distance between a and b is
+// strictly below bound, returning the (exact) distance when it is. The
+// accumulation order matches sqDist term for term; the early exit only
+// skips work once the partial sum — a lower bound, all terms being
+// non-negative — already reaches bound, so accept/reject decisions are
+// bit-identical to comparing full sqDist values.
+func sqDistBelow(a, b []float64, bound float64) (float64, bool) {
+	var d float64
+	n := len(a)
+	for i := 0; i < n; i += 8 {
+		end := i + 8
+		if end > n {
+			end = n
+		}
+		for j := i; j < end; j++ {
+			diff := a[j] - b[j]
+			d += diff * diff
+		}
+		if d >= bound {
+			return d, false
+		}
+	}
+	return d, true
 }
 
 // PhaseOfSlice returns the phase id for slice i.

@@ -28,6 +28,12 @@ import "qosrma/internal/stats"
 const SliceInstructions = 100_000_000
 
 // Behavior is one program phase's generative specification.
+//
+// Behavior must stay a comparable value type (scalar fields only): the
+// detailed simulator's process-wide phase-profile cache (internal/simdb)
+// keys on the jittered spec by value, which is what makes "same behaviour
+// ⇒ same profile" sharing across databases sound. The compile-time guard
+// below enforces this.
 type Behavior struct {
 	// Name identifies the behaviour within its benchmark (for debugging).
 	Name string
@@ -61,6 +67,14 @@ type Behavior struct {
 	// in-flight access (pointer chasing); dependent misses cannot overlap.
 	PDep float64
 }
+
+// Compile-time guards: Behavior and SampleParams are used as (parts of)
+// cache-map keys; adding a slice/map/function field would silently turn
+// every lookup into a runtime panic.
+var (
+	_ = map[Behavior]struct{}{}
+	_ = map[SampleParams]struct{}{}
+)
 
 // Access is one sampled LLC access.
 type Access struct {

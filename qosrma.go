@@ -109,7 +109,9 @@ type System struct {
 
 // NewSystem builds the default system for the given core count over the
 // full 20-benchmark suite. Construction runs the SimPoint analysis and the
-// parallel detailed simulation; expect a few seconds of work.
+// parallel detailed simulation (well under a second for the default
+// configurations; repeated constructions share phase profiles through a
+// process-wide cache and are cheaper still).
 func NewSystem(numCores int) (*System, error) {
 	return NewSystemFromConfig(arch.DefaultSystemConfig(numCores))
 }
