@@ -18,12 +18,12 @@ BENCH_DIFF ?= benchdiff.txt
 # LeadingMissSurface (fused all-(c,w) profile), SimulatePhase (per-phase
 # kernel) and EnvBuild (cold full environment — the headline build-side
 # wall time, also recorded in the CI bench artifact).
-MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulatePhase|CurveReduction|TreeReduction16Core|SimDBLookup|SimDBReferenceEval|RMASimRun|RMAOverhead|RM3Overhead|EnvBuild
+MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulatePhase|CurveReduction|TreeReduction16Core|SimDBLookup|SimDBReferenceEval|RMASimRun|RMASimStep|ClusterRun|RMAOverhead|RM3Overhead|EnvBuild
 # benchbase and benchdiff must measure under identical flags, or the
 # benchstat comparison is noise.
 MICRO_FLAGS ?= -benchtime=0.2s -count=5
 
-.PHONY: all build test test-short lint bench benchbase benchdiff pprof clean
+.PHONY: all build test test-short lint bench benchbase benchdiff pprof example-cluster clean
 
 all: build lint test
 
@@ -64,6 +64,11 @@ benchdiff:
 	else \
 		$(GO) run golang.org/x/perf/cmd/benchstat@latest $(BENCH_BASE) $(BENCH_NEW) | tee $(BENCH_DIFF); \
 	fi
+
+# Smoke-run the open-system cluster walkthrough in its short shape (the
+# CI build job runs this so the fleet engine stays demonstrably working).
+example-cluster:
+	$(GO) run ./examples/cluster -short
 
 # CPU-profile the build side: one cold SharedEnv construction plus the hot
 # profiling kernels, then print the top consumers. cpu.prof stays on disk

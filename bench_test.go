@@ -14,6 +14,8 @@ import (
 	"qosrma/internal/cache"
 	"qosrma/internal/core"
 	"qosrma/internal/experiments"
+	"qosrma/internal/power"
+	"qosrma/internal/rmasim"
 	"qosrma/internal/simdb"
 	"qosrma/internal/simpoint"
 	"qosrma/internal/stats"
@@ -538,6 +540,58 @@ func BenchmarkRMASimRun(b *testing.B) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRMASimStep measures one event of the resumable stepper: the
+// completion-horizon search, exact advance, QoS audit and RMA invocation
+// of a running 4-core co-phase simulation (the open-system hot path).
+func BenchmarkRMASimStep(b *testing.B) {
+	env := benchEnv(b)
+	mix := env.Mixes4[7]
+	newSim := func() *rmasim.Sim {
+		mgr := core.NewManager(core.Config{
+			Sys:    env.DB4.Sys,
+			Power:  power.DefaultParams(env.DB4.Sys),
+			Scheme: core.SchemeCoordDVFSCache,
+			Model:  core.Model2,
+		})
+		sim, err := rmasim.New(env.DB4, mix.Apps, mgr, rmasim.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim
+	}
+	sim := newSim()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sim.InFirstRound() == 0 {
+			b.StopTimer()
+			sim = newSim()
+			b.StartTimer()
+		}
+		if _, err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRun measures a small open-system fleet scenario end to
+// end: seeded arrivals, scored placement, parallel machine advance,
+// departures (2 machines, 8 jobs).
+func BenchmarkClusterRun(b *testing.B) {
+	env := benchEnv(b)
+	opt := experiments.DefaultClusterOptions()
+	opt.Machines = 2
+	opt.Jobs = 8
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCluster(env.DB4, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.EnergySavings*100, "fleetSavings%")
 		}
 	}
 }

@@ -4,6 +4,11 @@
 // With -emit csv -rows rows.csv the underlying sweep points stream to a
 // file as they execute; the process-wide sweep cache deduplicates points
 // shared between experiments (stats are logged at exit).
+//
+// With -cluster the command runs the open-system fleet scenario instead:
+// jobs arrive from a seeded Poisson trace, are placed online by the
+// collocation scorer, and depart on completion (-cluster-* flags shape the
+// scenario; -emit/-rows stream per-job rows).
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"qosrma/internal/cluster"
 	"qosrma/internal/core"
 	"qosrma/internal/experiments"
 	"qosrma/internal/sweep"
@@ -25,7 +31,25 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	emitFormat := flag.String("emit", "", "stream per-point sweep rows in this format (csv or json)")
 	rowsPath := flag.String("rows", "", "destination file for -emit rows (default: stderr)")
+	clusterMode := flag.Bool("cluster", false, "run the open-system cluster scenario instead of the paper tables")
+	clusterMachines := flag.Int("cluster-machines", 4, "cluster mode: fleet size")
+	clusterJobs := flag.Int("cluster-jobs", 32, "cluster mode: number of arriving jobs")
+	clusterMean := flag.Float64("cluster-mean", 0.5, "cluster mode: mean interarrival time (seconds)")
+	clusterSeed := flag.Uint64("cluster-seed", 1, "cluster mode: arrival-trace seed")
+	clusterSlack := flag.Float64("cluster-slack", 0.2, "cluster mode: uniform QoS slack")
+	clusterScheme := flag.String("cluster-scheme", "rm2", "cluster mode: rm2 or rm3")
+	clusterPlacement := flag.String("cluster-placement", "scored", "cluster mode: scored or firstfit")
 	flag.Parse()
+
+	if *clusterMode {
+		runCluster(clusterFlags{
+			machines: *clusterMachines, jobs: *clusterJobs, mean: *clusterMean,
+			seed: *clusterSeed, slack: *clusterSlack,
+			scheme: *clusterScheme, placement: *clusterPlacement,
+			emitFormat: *emitFormat, rowsPath: *rowsPath,
+		})
+		return
+	}
 
 	if *emitFormat != "" {
 		w := os.Stderr
@@ -245,6 +269,81 @@ func main() {
 	hits, misses := experiments.Engine().Cache().Stats()
 	log.Printf("all selected experiments done in %v (sweep cache: %d simulated, %d deduplicated)",
 		time.Since(start).Round(time.Millisecond), misses, hits)
+}
+
+// clusterFlags carries the parsed -cluster-* options.
+type clusterFlags struct {
+	machines, jobs       int
+	mean, slack          float64
+	seed                 uint64
+	scheme, placement    string
+	emitFormat, rowsPath string
+}
+
+// runCluster executes the open-system fleet scenario (EXT.CLUSTER).
+func runCluster(f clusterFlags) {
+	opt := experiments.DefaultClusterOptions()
+	opt.Machines = f.machines
+	opt.Jobs = f.jobs
+	opt.MeanInterarrivalSec = f.mean
+	opt.Seed = f.seed
+	opt.Slack = f.slack
+	switch strings.ToLower(f.scheme) {
+	case "rm2":
+		opt.Scheme = core.SchemeCoordDVFSCache
+	case "rm3":
+		opt.Scheme = core.SchemeCoordCoreDVFSCache
+	default:
+		log.Fatalf("unknown -cluster-scheme %q (want rm2 or rm3)", f.scheme)
+	}
+	switch strings.ToLower(f.placement) {
+	case "scored":
+		opt.Placement = cluster.PlaceScored
+	case "firstfit", "first-fit":
+		opt.Placement = cluster.PlaceFirstFit
+	default:
+		log.Fatalf("unknown -cluster-placement %q (want scored or firstfit)", f.placement)
+	}
+	if f.emitFormat != "" {
+		w := os.Stderr
+		if f.rowsPath != "" {
+			file, err := os.Create(f.rowsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer file.Close()
+			w = file
+		}
+		em, err := cluster.NewEmitter(f.emitFormat, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := em.Close(); err != nil {
+				log.Printf("emit close: %v", err)
+			}
+		}()
+		opt.Emitter = em
+	}
+
+	start := time.Now()
+	log.Printf("building simulation database...")
+	env, err := experiments.BuildEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("database ready in %v", time.Since(start).Round(time.Millisecond))
+	t0 := time.Now()
+	res, err := experiments.RunCluster(env.DB4, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	title := fmt.Sprintf("EXT.CLUSTER — Open-system fleet: %d machines, %d jobs (mean interarrival %.2gs, seed %d)",
+		opt.Machines, opt.Jobs, opt.MeanInterarrivalSec, opt.Seed)
+	if _, err := experiments.ClusterTable(res, title).WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("cluster scenario done in %v", time.Since(t0).Round(time.Millisecond))
 }
 
 // overhead measures the steady-state RMA invocation cost for RM2 (4 cores)

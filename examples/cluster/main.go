@@ -1,0 +1,72 @@
+// Cluster: the open-system fleet scenario. Jobs arrive from a seeded
+// Poisson trace, are placed online onto the machine where the collocation
+// scorer predicts the largest energy savings, run one full execution under
+// each machine's coordinated resource manager (RM2, 20% slack), and depart
+// on completion — the thesis methodology driven past its fixed one-round
+// mixes into a datacenter-style dynamic workload.
+//
+// The -short flag shrinks the scenario for CI smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"qosrma"
+)
+
+func main() {
+	log.SetFlags(0)
+	short := flag.Bool("short", false, "small scenario (CI smoke run)")
+	emitCSV := flag.Bool("csv", false, "dump per-job rows as CSV to stdout")
+	flag.Parse()
+
+	sys, err := qosrma.NewSystem(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jobs, machines := 24, 3
+	if *short {
+		jobs, machines = 8, 2
+	}
+	spec := qosrma.ClusterSpec{
+		Machines:            machines,
+		Scheme:              qosrma.RM2,
+		Slack:               0.2,
+		NumJobs:             jobs,
+		MeanInterarrivalSec: 0.5,
+		Seed:                7,
+	}
+
+	// The same trace under both placement policies shows what the
+	// characteristics-guided scheduler buys at fleet scale.
+	for _, placement := range []qosrma.ClusterPlacement{qosrma.PlaceFirstFit, qosrma.PlaceScored} {
+		spec.Placement = placement
+		res, err := sys.Cluster(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s placement: %d jobs on %d machines\n", res.Placement, len(res.Jobs), machines)
+		fmt.Printf("  fleet energy savings %.1f%%, %d QoS violations\n",
+			res.EnergySavings*100, res.Violations)
+		fmt.Printf("  mean wait %.3fs, max wait %.3fs, makespan %.2fs\n",
+			res.MeanWaitSec, res.MaxWaitSec, res.MakespanSec)
+		for i, m := range res.Machines {
+			fmt.Printf("  machine %d: %d jobs, %.1f busy core-sec, %d RMA invocations\n",
+				i, m.Jobs, m.BusyCoreSec, m.Invocations)
+		}
+		if *emitCSV && placement == qosrma.PlaceScored {
+			if err := qosrma.WriteClusterCSV(os.Stdout, res); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Jobs that share a machine with compute-bound donors let the manager")
+	fmt.Println("trade cache for voltage; the scored placement engineers exactly that")
+	fmt.Println("mix online, as the scheduler-guidance chapter of the thesis proposes.")
+}

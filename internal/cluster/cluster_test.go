@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/core"
+	"qosrma/internal/simdb"
+	"qosrma/internal/trace"
+	"qosrma/internal/workload"
+)
+
+var (
+	dbOnce sync.Once
+	dbInst *simdb.DB
+	dbErr  error
+)
+
+// testDB builds a small 2-core database over a subset of the suite — big
+// enough for heterogeneous placement, small enough to keep scenarios fast.
+func testDB(t *testing.T) *simdb.DB {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping multi-second database build in -short mode")
+	}
+	dbOnce.Do(func() {
+		sys := arch.DefaultSystemConfig(2)
+		dbInst, dbErr = simdb.Build(sys, trace.Suite()[:6], simdb.DefaultBuildOptions())
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	return dbInst
+}
+
+// testSpec is a moderately loaded 2-machine scenario with a fixed seed.
+func testSpec(db *simdb.DB, jobs int, meanSec float64) Spec {
+	return Spec{
+		Machines: 2,
+		Scheme:   core.SchemeCoordDVFSCache,
+		Model:    core.Model3,
+		Slack:    0.2,
+		Jobs: workload.PoissonArrivals(db.BenchNames(), workload.ArrivalOptions{
+			Jobs: jobs, MeanInterarrivalSec: meanSec, Seed: 42,
+		}),
+	}
+}
+
+func TestClusterCompletesAllJobs(t *testing.T) {
+	db := testDB(t)
+	spec := testSpec(db, 12, 0.4)
+	res, err := Run(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 12 {
+		t.Fatalf("completed %d jobs, want 12", len(res.Jobs))
+	}
+	machineJobs := 0
+	for _, m := range res.Machines {
+		machineJobs += m.Jobs
+		if m.Invocations <= 0 {
+			t.Fatal("machine never invoked its RMA")
+		}
+	}
+	if machineJobs != 12 {
+		t.Fatalf("machines account for %d jobs", machineJobs)
+	}
+	for _, j := range res.Jobs {
+		if j.WaitSec < 0 {
+			t.Fatalf("job %d has negative wait %g", j.Job.ID, j.WaitSec)
+		}
+		if j.StartSec != j.Job.TimeSec+j.WaitSec {
+			t.Fatalf("job %d start/wait inconsistent", j.Job.ID)
+		}
+		if j.FinishSec <= j.StartSec {
+			t.Fatalf("job %d finished before it started", j.Job.ID)
+		}
+		if j.App.Time <= 0 || j.App.Energy <= 0 || j.App.BaselineEnergy <= 0 {
+			t.Fatalf("job %d degenerate accounting: %+v", j.Job.ID, j.App)
+		}
+		if j.Machine < 0 || j.Machine >= spec.Machines {
+			t.Fatalf("job %d on machine %d", j.Job.ID, j.Machine)
+		}
+		if j.FinishSec > res.MakespanSec {
+			t.Fatal("makespan below a job's finish time")
+		}
+	}
+	if res.Intervals <= 0 {
+		t.Fatal("no intervals audited")
+	}
+}
+
+// TestClusterDeterministic pins the acceptance criterion: a fixed-seed
+// scenario reproduces identical results and identical CSV/JSON bytes
+// across runs and worker counts.
+func TestClusterDeterministic(t *testing.T) {
+	db := testDB(t)
+	execute := func(workers int) (*Result, []byte, []byte) {
+		spec := testSpec(db, 16, 0.3)
+		spec.Workers = workers
+		var csvBuf bytes.Buffer
+		spec.Emitter = NewCSVEmitter(&csvBuf)
+		res, err := Run(db, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jsonBuf bytes.Buffer
+		if err := WriteJSON(&jsonBuf, res.Jobs); err != nil {
+			t.Fatal(err)
+		}
+		return res, csvBuf.Bytes(), jsonBuf.Bytes()
+	}
+	r1, c1, j1 := execute(1)
+	r2, c2, j2 := execute(8)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("cluster result depends on the worker count")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("streamed CSV differs across runs:\n%s\nvs\n%s", c1, c2)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("JSON output differs across runs")
+	}
+	if len(c1) == 0 || bytes.Count(c1, []byte("\n")) != 17 { // header + 16 rows
+		t.Fatalf("emitter produced %d lines", bytes.Count(c1, []byte("\n")))
+	}
+}
+
+// TestClusterQueuesUnderOverload: a single machine fed arrivals much
+// faster than it retires them must queue jobs and still complete them all,
+// with strictly positive waits for the tail.
+func TestClusterQueuesUnderOverload(t *testing.T) {
+	db := testDB(t)
+	spec := testSpec(db, 8, 0.01) // near-simultaneous arrivals
+	spec.Machines = 1
+	res, err := Run(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxWaitSec <= 0 {
+		t.Fatal("overloaded machine produced no queueing delay")
+	}
+	waited := 0
+	for _, j := range res.Jobs {
+		if j.WaitSec > 0 {
+			waited++
+		}
+	}
+	// Two cores absorb the first two arrivals; the other six must wait.
+	if waited != 6 {
+		t.Fatalf("%d jobs waited, want 6", waited)
+	}
+}
+
+func TestClusterPlacementPolicies(t *testing.T) {
+	db := testDB(t)
+	for _, p := range []Placement{PlaceScored, PlaceFirstFit} {
+		spec := testSpec(db, 10, 0.5)
+		spec.Placement = p
+		res, err := Run(db, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Placement != p.String() {
+			t.Fatalf("placement label %q", res.Placement)
+		}
+		if len(res.Jobs) != 10 {
+			t.Fatalf("%s completed %d jobs", p, len(res.Jobs))
+		}
+	}
+}
+
+func TestClusterTimeline(t *testing.T) {
+	db := testDB(t)
+	spec := testSpec(db, 6, 0.5)
+	spec.Timeline = true
+	res, err := Run(db, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	for _, m := range res.Machines {
+		prev := 0.0
+		for _, ev := range m.Timeline {
+			if ev.TimeSec < prev {
+				t.Fatal("machine timeline not ordered")
+			}
+			prev = ev.TimeSec
+			events++
+		}
+	}
+	if events == 0 {
+		t.Fatal("no timeline events under a coordinated scheme")
+	}
+}
+
+func TestClusterSpecValidation(t *testing.T) {
+	db := testDB(t)
+	if _, err := Run(db, Spec{Machines: 0, Jobs: testSpec(db, 2, 1).Jobs}); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if _, err := Run(db, Spec{Machines: 1}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := testSpec(db, 2, 1)
+	bad.Jobs[1].Bench = "nosuch"
+	if _, err := Run(db, bad); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	neg := testSpec(db, 2, 1)
+	neg.Jobs[0].TimeSec = -1
+	if _, err := Run(db, neg); err == nil {
+		t.Fatal("negative arrival time accepted")
+	}
+}

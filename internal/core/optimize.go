@@ -206,6 +206,19 @@ func AllocateWays(curves []*Curve, totalWays int) ([]int, bool) {
 	return alloc, true
 }
 
+// IdleCurve returns a zero-cost energy curve standing in for an unoccupied
+// core: every way count, including zero, is feasible at zero energy, so the
+// global reduction hands idle cores exactly the surplus ways the occupied
+// cores do not want. Size and frequency of every option are the parking
+// setting's (nothing executes there, they are cosmetic).
+func IdleCurve(assoc int, parked arch.Setting) *Curve {
+	c := &Curve{Core: -1, Options: make([]Option, assoc+1)}
+	for w := range c.Options {
+		c.Options[w] = Option{Size: parked.Size, FreqIdx: parked.FreqIdx, Feasible: true}
+	}
+	return c
+}
+
 // SettingsFromCurves converts a way allocation back into complete per-core
 // settings using each curve's per-way optimum.
 func SettingsFromCurves(curves []*Curve, alloc []int) []arch.Setting {

@@ -86,6 +86,16 @@ type Manager struct {
 	scratch   *Curve         // reusable curve for the single-core schemes
 	uncoord   []*Curve       // reusable curves for the uncoordinated scheme
 
+	// occupied tracks which cores currently host an application (all of
+	// them in the classic closed-world simulation). Vacant cores take no
+	// part in the QoS optimization: they contribute the shared idle curve,
+	// which absorbs surplus cache ways at zero cost.
+	occupied []bool
+	vacant   int       // number of unoccupied cores
+	idle     *Curve    // shared zero-cost stand-in curve for vacant cores
+	decision []*Curve  // scratch curve set mixing real and idle curves
+	zeroProf []float64 // scratch all-zero miss profile for vacant cores (UCP)
+
 	// Invocations counts Decide calls (diagnostics).
 	Invocations int
 }
@@ -106,6 +116,10 @@ func NewManager(cfg Config) *Manager {
 		curves:    make([]*Curve, n),
 		settings:  make([]arch.Setting, n),
 		lastStats: make([]*IntervalStats, n),
+		occupied:  make([]bool, n),
+	}
+	for i := range m.occupied {
+		m.occupied[i] = true
 	}
 	if cfg.Feedback {
 		m.feedback = make([]*FeedbackTable, n)
@@ -130,6 +144,74 @@ func (m *Manager) Settings() []arch.Setting {
 
 // Slack returns the QoS relaxation configured for a core.
 func (m *Manager) Slack(core int) float64 { return m.cfg.Slack[core] }
+
+// Vacate marks the core unoccupied and clears its management state — the
+// retained energy curve, the last interval statistics and the phase-history
+// feedback table — so a later application placed on the core inherits
+// nothing from its predecessor. The core is parked at the baseline setting
+// and thereafter contributes a zero-cost curve to the global optimization
+// (its cache ways become surplus the occupied cores can claim). Used by the
+// open-system cluster simulator when a job departs.
+func (m *Manager) Vacate(core int) {
+	if !m.occupied[core] {
+		return
+	}
+	m.occupied[core] = false
+	m.vacant++
+	m.curves[core] = nil
+	m.lastStats[core] = nil
+	if m.feedback != nil {
+		m.feedback[core] = NewFeedbackTable(m.cfg.Sys.LLC.Assoc)
+	}
+	m.settings[core] = m.cfg.Sys.BaselineSetting()
+}
+
+// Occupy marks the core occupied again (a new application was placed on
+// it). The core stays at the baseline setting until its first completed
+// interval gives the manager statistics to optimize with.
+func (m *Manager) Occupy(core int) {
+	if m.occupied[core] {
+		return
+	}
+	m.occupied[core] = true
+	m.vacant--
+}
+
+// Occupied reports whether an application currently occupies the core.
+func (m *Manager) Occupied(core int) bool { return m.occupied[core] }
+
+// Rebaseline returns every core to the baseline allocation — the safe
+// equal partition an arrival falls back to until fresh statistics let the
+// optimization repartition — and returns the settings for the simulator to
+// apply (charging reconfiguration overheads where allocations change).
+func (m *Manager) Rebaseline() []arch.Setting {
+	for i := range m.settings {
+		m.settings[i] = m.cfg.Sys.BaselineSetting()
+	}
+	return m.Settings()
+}
+
+// decisionCurves returns the curve set for the global reduction: occupied
+// cores contribute their own curves and vacant cores the shared idle curve.
+// With every core occupied it is the curves slice itself (the closed-world
+// fast path allocates nothing).
+func (m *Manager) decisionCurves() []*Curve {
+	if m.vacant == 0 {
+		return m.curves
+	}
+	if m.idle == nil {
+		m.idle = IdleCurve(m.cfg.Sys.LLC.Assoc, m.cfg.Sys.BaselineSetting())
+		m.decision = make([]*Curve, len(m.curves))
+	}
+	for i, c := range m.curves {
+		if m.occupied[i] {
+			m.decision[i] = c
+		} else {
+			m.decision[i] = m.idle
+		}
+	}
+	return m.decision
+}
 
 // Scheme returns the configured scheme.
 func (m *Manager) Scheme() Scheme { return m.cfg.Scheme }
@@ -175,8 +257,20 @@ func (m *Manager) computeLocalOptions(core int) LocalOptions {
 	return opt
 }
 
-// localOptions returns the per-core search space for the configured scheme.
-func (m *Manager) localOptions(core int) LocalOptions { return m.localOpts[core] }
+// localOptions returns the per-core search space for the configured
+// scheme. With vacancies, the per-core way cap widens to reserve one way
+// only per *occupied* co-runner, so a lightly loaded machine can actually
+// grant a tenant the ways its idle neighbours released (curves built
+// before an occupancy change keep their narrower cap until their core's
+// next rebuild — transiently conservative, never infeasible, and the
+// closed-world path is untouched).
+func (m *Manager) localOptions(core int) LocalOptions {
+	opt := m.localOpts[core]
+	if m.vacant > 0 {
+		opt.MaxWays = m.cfg.Sys.LLC.Assoc - (m.cfg.Sys.NumCores - m.vacant - 1)
+	}
+	return opt
+}
 
 // Decide is the RMA invocation: core invoker has completed an interval with
 // the given statistics. It returns the new settings for all cores and true,
@@ -219,20 +313,28 @@ func (m *Manager) Decide(invoker int, st *IntervalStats) ([]arch.Setting, bool) 
 
 	// Coordinated schemes: rebuild the invoker's curve (reusing its buffer
 	// across intervals), reuse the last curves of the other cores (thesis
-	// Fig. 3.1/3.2).
+	// Fig. 3.1/3.2). Vacant cores stand in with the shared idle curve.
 	m.curves[invoker] = m.pred.BuildCurveInto(st, m.localOptions(invoker), m.curves[invoker])
-	for _, c := range m.curves {
-		if c == nil {
+	curves := m.decisionCurves()
+	for i, c := range curves {
+		if c == nil && m.occupied[i] {
 			// First invocations: some cores have no statistics yet — keep
 			// the baseline setting (thesis Chapter 2, footnote 2).
 			return nil, false
 		}
 	}
-	alloc, ok := AllocateWays(m.curves, sys.LLC.Assoc)
+	alloc, ok := AllocateWays(curves, sys.LLC.Assoc)
 	if !ok {
 		return nil, false
 	}
-	m.settings = SettingsFromCurves(m.curves, alloc)
+	m.settings = SettingsFromCurves(curves, alloc)
+	for i := range m.settings {
+		if !m.occupied[i] {
+			// Nothing executes on a vacant core; park it at the baseline
+			// (the ways the idle curve absorbed are simply unclaimed).
+			m.settings[i] = sys.BaselineSetting()
+		}
+	}
 	return m.Settings(), true
 }
 
@@ -246,6 +348,14 @@ func (m *Manager) decideUncoordinated() ([]arch.Setting, bool) {
 	sys := m.cfg.Sys
 	profiles := make([][]float64, len(m.lastStats))
 	for i, st := range m.lastStats {
+		if !m.occupied[i] {
+			// Vacant cores miss nothing: UCP hands them the minimum share.
+			if m.zeroProf == nil {
+				m.zeroProf = make([]float64, sys.LLC.Assoc+1)
+			}
+			profiles[i] = m.zeroProf
+			continue
+		}
 		if st == nil {
 			return nil, false // warm-up: keep the baseline
 		}
@@ -256,6 +366,10 @@ func (m *Manager) decideUncoordinated() ([]arch.Setting, bool) {
 		m.uncoord = make([]*Curve, len(m.lastStats))
 	}
 	for i, st := range m.lastStats {
+		if !m.occupied[i] {
+			m.settings[i] = sys.BaselineSetting()
+			continue
+		}
 		m.uncoord[i] = m.pred.BuildCurveInto(st, m.localOptions(i), m.uncoord[i])
 		if o := m.uncoord[i].Options[alloc[i]]; o.Feasible {
 			m.settings[i] = arch.Setting{Size: o.Size, FreqIdx: o.FreqIdx, Ways: alloc[i]}

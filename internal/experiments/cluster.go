@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qosrma/internal/cluster"
+	"qosrma/internal/core"
+	"qosrma/internal/simdb"
+	"qosrma/internal/workload"
+)
+
+// ClusterOptions configures the EXT.CLUSTER open-system scenario: a fleet
+// of machines fed by a deterministic Poisson arrival trace over the full
+// benchmark population.
+type ClusterOptions struct {
+	Machines            int
+	Jobs                int
+	MeanInterarrivalSec float64
+	Seed                uint64
+	Slack               float64
+	Scheme              core.Scheme
+	Placement           cluster.Placement
+	// Emitter optionally streams per-job rows as the scenario executes.
+	Emitter cluster.Emitter
+}
+
+// DefaultClusterOptions returns a moderately loaded fleet: four machines,
+// 32 jobs arriving every half second on average, 20% slack under RM2.
+func DefaultClusterOptions() ClusterOptions {
+	return ClusterOptions{
+		Machines:            4,
+		Jobs:                32,
+		MeanInterarrivalSec: 0.5,
+		Seed:                1,
+		Slack:               0.2,
+		Scheme:              core.SchemeCoordDVFSCache,
+	}
+}
+
+// RunCluster executes the open-system fleet scenario on the database. The
+// analytical model follows the scheme (Model 2, or Model 3 for RM3), as in
+// the closed-world experiments.
+func RunCluster(db *simdb.DB, opt ClusterOptions) (*cluster.Result, error) {
+	model := core.Model2
+	if opt.Scheme == core.SchemeCoordCoreDVFSCache {
+		model = core.Model3
+	}
+	jobs := workload.PoissonArrivals(db.BenchNames(), workload.ArrivalOptions{
+		Jobs:                opt.Jobs,
+		MeanInterarrivalSec: opt.MeanInterarrivalSec,
+		Seed:                opt.Seed,
+	})
+	return cluster.Run(db, cluster.Spec{
+		Machines:  opt.Machines,
+		Scheme:    opt.Scheme,
+		Model:     model,
+		Slack:     opt.Slack,
+		Jobs:      jobs,
+		Placement: opt.Placement,
+		Emitter:   opt.Emitter,
+	})
+}
+
+// ClusterTable renders the fleet summary: one row per machine plus the
+// aggregate open-system metrics as footnotes.
+func ClusterTable(res *cluster.Result, title string) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"Machine", "Jobs", "Busy core-sec", "RMA invocations"},
+	}
+	for i, m := range res.Machines {
+		t.AddRow(fmt.Sprintf("machine %d", i), m.Jobs, fmt.Sprintf("%.2f", m.BusyCoreSec), m.Invocations)
+	}
+	t.AddNote("%d jobs, %s placement, scheme %s: fleet energy savings %s, %d QoS violations.",
+		len(res.Jobs), res.Placement, res.Scheme, pct(res.EnergySavings), res.Violations)
+	t.AddNote("Queueing: mean wait %.3fs, max wait %.3fs, makespan %.2fs.",
+		res.MeanWaitSec, res.MaxWaitSec, res.MakespanSec)
+	t.AddNote("Interval audit: %d violations over %d intervals.",
+		res.IntervalViolations, res.Intervals)
+	return t
+}

@@ -10,9 +10,20 @@
 // application has completed at least one full round, which is the scored
 // portion.
 //
+// The simulator is a resumable stepper: Sim carries the full machine state
+// between events, so callers can interleave Step with Arrive and Depart to
+// express open-system scenarios — applications entering and leaving a
+// machine at arbitrary times — on the same event loop and accounting the
+// closed-world Run wrapper uses (internal/cluster drives whole fleets of
+// Sims this way). Run itself remains the one-shot paper entry point: one
+// application per core, simulated until every first round completes.
+//
 // The interval loop is allocation-free and map-free: benchmark names are
 // interned to dense simdb.BenchIDs up front, the current setting is carried
 // as a lattice index, and every database query is a precompiled-table read.
+// Interval completions are exact — the core whose completion defines an
+// event horizon retires precisely its remaining instructions, so rem and
+// stall reach exactly zero and no epsilon of work is ever dropped.
 package rmasim
 
 import (
@@ -86,9 +97,10 @@ type Result struct {
 
 	// Interval-level QoS audit (Paper II §V): for every completed interval,
 	// the achieved interval time is compared against the same interval's
-	// slack-adjusted baseline time.
+	// slack-adjusted baseline time, under the same additive thesis
+	// definition AppResult.Violated applies at whole-run granularity.
 	Intervals          int     // intervals audited
-	IntervalViolations int     // intervals more than 1% beyond the target
+	IntervalViolations int     // intervals beyond the slack-adjusted target
 	ViolationMeanPct   float64 // mean violation magnitude (percent, violating intervals)
 	ViolationStdPct    float64 // standard deviation of the magnitude
 
@@ -116,7 +128,8 @@ type coreState struct {
 	setIdx  int // lattice index of setting
 
 	round      int
-	time       float64 // first-round completion time
+	start      float64 // wall time the application was placed on the core
+	time       float64 // first-round completion time (relative to start)
 	energy     float64 // energy accumulated during round 0
 	tpi        float64 // current time per instruction
 	epi        float64 // current energy per instruction
@@ -141,144 +154,515 @@ type coreState struct {
 	stats core.IntervalStats
 }
 
-// Run simulates the workload (one benchmark name per core) under the given
-// manager and returns the scored result. The manager must be configured for
-// the same system as the database.
-func Run(db *simdb.DB, workload []string, mgr *core.Manager, opt Options) (*Result, error) {
+// Sim is a resumable co-phase simulation: the event loop of Run broken
+// into single-event steps, with cores that can be populated (Arrive) and
+// vacated (Depart) between events. A Sim is not safe for concurrent use.
+type Sim struct {
+	db  *simdb.DB
+	mgr *core.Manager
+	opt Options
+
+	baseIdx int
+	cores   []*coreState // index = core ID; nil = unoccupied
+	tNow    float64
+	events  int
+
+	inFirstRound int // occupied cores still executing their first round
+
+	auditIntervals  int
+	auditViolations int
+	audit           stats.Running
+
+	completedIntervals int
+	retired            float64 // instructions retired across all cores
+
+	timeline []TimelineEvent
+	horizon  []float64 // scratch: per-core completion horizon of one step
+	finished []int     // scratch: Step's round-completion result buffer
+}
+
+// New builds a simulation with one application per core (the closed-world
+// workload shape of the papers), every core at the baseline setting. The
+// manager must be configured for the same system as the database.
+func New(db *simdb.DB, workload []string, mgr *core.Manager, opt Options) (*Sim, error) {
 	n := db.Sys.NumCores
 	if len(workload) != n {
 		return nil, fmt.Errorf("rmasim: workload has %d apps, system has %d cores", len(workload), n)
 	}
+	s := NewIdle(db, mgr, opt)
+	for i, bench := range workload {
+		if err := s.Arrive(i, bench); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NewIdle builds a simulation with every core unoccupied; applications are
+// placed with Arrive as they enter the system (the open-system shape the
+// cluster engine drives).
+func NewIdle(db *simdb.DB, mgr *core.Manager, opt Options) *Sim {
 	if opt.MaxEvents <= 0 {
 		opt.MaxEvents = DefaultOptions().MaxEvents
 	}
-
-	baseSetting := db.Sys.BaselineSetting()
-	baseIdx := db.Lattice.Index(baseSetting)
-	cores := make([]*coreState, n)
-	for i, bench := range workload {
-		id, ok := db.BenchIDOf(bench)
-		if !ok {
-			return nil, fmt.Errorf("rmasim: no analysis for %s", bench)
-		}
-		cores[i] = &coreState{
-			bench:      bench,
-			id:         id,
-			phases:     db.PhaseTraceAt(id),
-			rem:        trace.SliceInstructions,
-			setting:    baseSetting,
-			setIdx:     baseIdx,
-			firstRound: true,
-		}
-		cores[i].refreshRates(db)
-		cores[i].refreshBaseTPI(db, baseIdx)
+	n := db.Sys.NumCores
+	s := &Sim{
+		db:      db,
+		mgr:     mgr,
+		opt:     opt,
+		baseIdx: db.BaselineIdx(),
+		cores:   make([]*coreState, n),
+		horizon: make([]float64, n),
 	}
+	for i := 0; i < n; i++ {
+		mgr.Vacate(i)
+	}
+	return s
+}
 
-	var timeline []TimelineEvent
-	record := func(t float64, core int, s arch.Setting) {
-		if opt.Timeline {
-			timeline = append(timeline, TimelineEvent{TimeSec: t, Core: core, Setting: s})
+// Arrive places an application on an idle core at the current simulation
+// time. The core starts its first interval at the baseline setting; the
+// manager begins optimizing it after its first completed interval.
+func (s *Sim) Arrive(coreID int, bench string) error {
+	if coreID < 0 || coreID >= len(s.cores) {
+		return fmt.Errorf("rmasim: core %d out of range", coreID)
+	}
+	if s.cores[coreID] != nil {
+		return fmt.Errorf("rmasim: core %d is already occupied", coreID)
+	}
+	id, ok := s.db.BenchIDOf(bench)
+	if !ok {
+		return fmt.Errorf("rmasim: no analysis for %s", bench)
+	}
+	c := &coreState{
+		bench:         bench,
+		id:            id,
+		phases:        s.db.PhaseTraceAt(id),
+		rem:           trace.SliceInstructions,
+		setting:       s.db.Sys.BaselineSetting(),
+		setIdx:        s.baseIdx,
+		firstRound:    true,
+		start:         s.tNow,
+		intervalStart: s.tNow,
+	}
+	c.refreshRates(s.db)
+	c.refreshBaseTPI(s.db, s.baseIdx)
+	s.cores[coreID] = c
+	s.inFirstRound++
+	s.mgr.Occupy(coreID)
+	// An arrival invalidates the current partition (the running cores may
+	// hold ways the idle curve had released): fall back to the safe equal
+	// baseline partition, charging reconfiguration overheads where
+	// allocations change, until fresh statistics repartition. At
+	// construction time every core is already at the baseline and this is
+	// a no-op, keeping Run's closed-world accounting untouched.
+	s.applySettings(s.mgr.Rebaseline())
+	return nil
+}
+
+// Depart removes the application from the core and returns its scored
+// result, clearing the manager's per-core history so the next arrival
+// inherits nothing. The result is QoS-meaningful once the application has
+// completed its first full round (Step reports that); departing earlier
+// scores the elapsed time of the unfinished round.
+func (s *Sim) Depart(coreID int) (AppResult, error) {
+	if coreID < 0 || coreID >= len(s.cores) {
+		return AppResult{}, fmt.Errorf("rmasim: core %d out of range", coreID)
+	}
+	c := s.cores[coreID]
+	if c == nil {
+		return AppResult{}, fmt.Errorf("rmasim: core %d is idle", coreID)
+	}
+	app := s.appResult(coreID, c)
+	if c.firstRound {
+		s.inFirstRound--
+	}
+	s.cores[coreID] = nil
+	s.mgr.Vacate(coreID)
+	return app, nil
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.tNow }
+
+// Events returns the number of processed completion events.
+func (s *Sim) Events() int { return s.events }
+
+// InFirstRound returns how many occupied cores have not yet completed
+// their first full round.
+func (s *Sim) InFirstRound() int { return s.inFirstRound }
+
+// Occupied returns the number of cores currently hosting an application.
+func (s *Sim) Occupied() int {
+	n := 0
+	for _, c := range s.cores {
+		if c != nil {
+			n++
 		}
 	}
+	return n
+}
 
-	remaining := n // cores still in round 0
-	tNow := 0.0
-	var audit stats.Running
-	auditIntervals, auditViolations := 0, 0
-	for ev := 0; ev < opt.MaxEvents && remaining > 0; ev++ {
-		// Find the earliest interval completion.
-		next := math.Inf(1)
-		for _, c := range cores {
-			if t := c.stall + c.rem*c.tpi; t < next {
-				next = t
-			}
-		}
-		if math.IsInf(next, 1) {
-			return nil, fmt.Errorf("rmasim: no progress possible")
-		}
+// Retired returns the total instructions retired across all cores so far.
+func (s *Sim) Retired() float64 { return s.retired }
 
-		// Advance every core by `next` seconds.
-		for _, c := range cores {
-			dt := next
+// CompletedIntervals returns the number of completed 100M-instruction
+// intervals across all cores.
+func (s *Sim) CompletedIntervals() int { return s.completedIntervals }
+
+// Audit returns the interval-level QoS audit counters so far.
+func (s *Sim) Audit() (intervals, violations int) {
+	return s.auditIntervals, s.auditViolations
+}
+
+// TimelineEvents returns the recorded allocation time-series (nil unless
+// Options.Timeline is set). The slice is owned by the Sim.
+func (s *Sim) TimelineEvents() []TimelineEvent { return s.timeline }
+
+// NextEventTime returns the absolute simulation time of the next interval
+// completion, or +Inf when no application is running.
+func (s *Sim) NextEventTime() float64 {
+	next := math.Inf(1)
+	for _, c := range s.cores {
+		if c == nil {
+			continue
+		}
+		if t := c.stall + c.rem*c.tpi; t < next {
+			next = t
+		}
+	}
+	return s.tNow + next
+}
+
+// Snapshot is a point-in-time view of a simulation.
+type Snapshot struct {
+	TimeSec      float64
+	Events       int
+	InFirstRound int
+	Cores        []CoreSnapshot
+}
+
+// CoreSnapshot describes one core's occupancy and progress.
+type CoreSnapshot struct {
+	Occupied   bool
+	Bench      string
+	Round      int
+	Slice      int // index into the phase trace of the current interval
+	NumSlices  int
+	Setting    arch.Setting
+	FirstRound bool
+	StartSec   float64
+}
+
+// Snapshot captures the current simulation state (for diagnostics,
+// progress reporting and per-machine dashboards).
+func (s *Sim) Snapshot() Snapshot {
+	snap := Snapshot{
+		TimeSec:      s.tNow,
+		Events:       s.events,
+		InFirstRound: s.inFirstRound,
+		Cores:        make([]CoreSnapshot, len(s.cores)),
+	}
+	for i, c := range s.cores {
+		if c == nil {
+			continue
+		}
+		snap.Cores[i] = CoreSnapshot{
+			Occupied:   true,
+			Bench:      c.bench,
+			Round:      c.round,
+			Slice:      c.slice,
+			NumSlices:  len(c.phases),
+			Setting:    c.setting,
+			FirstRound: c.firstRound,
+			StartSec:   c.start,
+		}
+	}
+	return snap
+}
+
+// retire advances a core by instr instructions, charging energy and the
+// instruction-weighted allocation usage while the core is in its scored
+// first round.
+func (s *Sim) retire(c *coreState, instr float64) {
+	c.rem -= instr
+	s.retired += instr
+	if c.firstRound {
+		c.energy += instr * c.epi
+		c.usedInstr += instr
+		c.usedFreq += instr * s.db.Sys.DVFS[c.setting.FreqIdx].FreqGHz
+		c.usedWays += instr * float64(c.setting.Ways)
+	}
+}
+
+// Step advances the simulation past the next interval-completion event:
+// every running core advances to the completion horizon, tied completions
+// are processed together (QoS audit, RMA invocation, phase advance), and
+// the clock moves. It returns the cores whose application finished a full
+// execution round during this event — the open-system departure signal —
+// in core order; the returned slice is reused by the next Step call. The
+// Options.MaxEvents safety net is enforced here, so every caller — Run,
+// RunUntil, the cluster engine, direct steppers — shares one budget guard.
+//
+// Cores whose own completion defines the horizon retire exactly their
+// remaining instructions: rem and stall reach exactly zero, so completion
+// detection is epsilon-free and no work is dropped between intervals.
+func (s *Sim) Step() ([]int, error) {
+	// Find the earliest interval completion. The per-core horizons are
+	// kept so the advance loop below can identify completing cores by the
+	// exact value that defined the minimum.
+	next := math.Inf(1)
+	for i, c := range s.cores {
+		if c == nil {
+			s.horizon[i] = math.Inf(1)
+			continue
+		}
+		t := c.stall + c.rem*c.tpi
+		s.horizon[i] = t
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return nil, fmt.Errorf("rmasim: no progress possible")
+	}
+	if s.events >= s.opt.MaxEvents {
+		return nil, fmt.Errorf("rmasim: event budget exhausted with %d apps unfinished", s.inFirstRound)
+	}
+	s.events++
+
+	// Advance every core by `next` seconds.
+	for i, c := range s.cores {
+		if c == nil {
+			continue
+		}
+		if s.horizon[i] == next {
+			// This core's completion defines the horizon: drain the stall
+			// and retire the exact remainder of the interval.
 			if c.stall > 0 {
-				burn := math.Min(c.stall, dt)
-				c.stall -= burn
-				dt -= burn
 				if c.firstRound {
-					c.energy += c.watts * burn // stalled core still leaks
+					c.energy += c.watts * c.stall // stalled core still leaks
 				}
+				c.stall = 0
 			}
-			if dt <= 0 {
-				continue
-			}
-			instr := dt / c.tpi
-			if instr > c.rem {
-				instr = c.rem
-			}
-			c.rem -= instr
+			s.retire(c, c.rem)
+			continue
+		}
+		dt := next
+		if c.stall > 0 {
+			burn := math.Min(c.stall, dt)
+			c.stall -= burn
+			dt -= burn
 			if c.firstRound {
-				c.energy += instr * c.epi
-				c.usedInstr += instr
-				c.usedFreq += instr * db.Sys.DVFS[c.setting.FreqIdx].FreqGHz
-				c.usedWays += instr * float64(c.setting.Ways)
+				c.energy += c.watts * burn
 			}
 		}
-		tNow += next
+		if dt <= 0 {
+			continue
+		}
+		instr := dt / c.tpi
+		if instr > c.rem {
+			instr = c.rem
+		}
+		s.retire(c, instr)
+	}
+	s.tNow += next
 
-		// Handle completions (ties complete together).
-		for coreID, c := range cores {
-			if c.rem > 1e-3 || c.stall > 1e-18 {
-				continue
-			}
-			completed := c.slice
+	// Handle completions (ties complete together).
+	s.finished = s.finished[:0]
+	for coreID, c := range s.cores {
+		if c == nil || c.rem != 0 || c.stall != 0 {
+			continue
+		}
+		completed := c.slice
 
-			// Interval-level QoS audit: achieved interval time against the
-			// slack-adjusted baseline of the same interval.
-			auditIntervals++
-			allowed := c.baseTPI * trace.SliceInstructions * (1 + mgr.Slack(coreID))
-			if dt := tNow - c.intervalStart; dt > allowed*1.01 {
-				auditViolations++
-				audit.Add((dt - allowed) / allowed * 100)
-			}
-			c.intervalStart = tNow
+		// Interval-level QoS audit: achieved interval time against the
+		// slack-adjusted baseline of the same interval, under the additive
+		// thesis definition (excess beyond slack larger than 1% of the
+		// baseline), matching AppResult.Violated.
+		s.auditIntervals++
+		s.completedIntervals++
+		base := c.baseTPI * trace.SliceInstructions
+		if bad, pct := intervalViolation(s.tNow-c.intervalStart, base, s.mgr.Slack(coreID)); bad {
+			s.auditViolations++
+			s.audit.Add(pct)
+		}
+		c.intervalStart = s.tNow
 
-			// Advance to the next interval.
-			c.slice++
-			if c.slice == len(c.phases) {
-				if c.firstRound {
-					c.time = tNow
-					c.firstRound = false
-					remaining--
-				}
-				c.round++
-				c.slice = 0
+		// Advance to the next interval.
+		c.slice++
+		if c.slice == len(c.phases) {
+			if c.firstRound {
+				c.time = s.tNow - c.start
+				c.firstRound = false
+				s.inFirstRound--
+				s.finished = append(s.finished, coreID)
 			}
-			c.rem = trace.SliceInstructions
+			c.round++
+			c.slice = 0
+		}
+		c.rem = trace.SliceInstructions
 
-			// Invoke the RMA with this core's statistics.
-			st := c.gatherStats(db, coreID, completed, opt.Oracle)
-			newSettings, changed := mgr.Decide(coreID, st)
-			if changed {
-				applySettings(db, cores, newSettings, record, tNow)
+		// Invoke the RMA with this core's statistics.
+		st := c.gatherStats(s.db, coreID, completed, s.opt.Oracle)
+		newSettings, changed := s.mgr.Decide(coreID, st)
+		if changed {
+			s.applySettings(newSettings)
+		}
+		// The completing core entered a new interval (possibly a new
+		// phase); its rates must be refreshed even when its setting is
+		// unchanged.
+		c.refreshRates(s.db)
+		c.refreshBaseTPI(s.db, s.baseIdx)
+	}
+	return s.finished, nil
+}
+
+// intervalViolation evaluates the interval-level QoS audit: the achieved
+// interval time dt against the slack-adjusted baseline base*(1+slack). The
+// interval violates when the excess beyond the slack-adjusted target
+// exceeds 1% of the baseline — the additive thesis definition, the same
+// one AppResult.Violated applies at whole-run granularity. The magnitude
+// is the percent excess over the slack-adjusted target.
+func intervalViolation(dt, base, slack float64) (violated bool, magnitudePct float64) {
+	allowed := base * (1 + slack)
+	if dt-allowed > base*0.01 {
+		return true, (dt - allowed) / allowed * 100
+	}
+	return false, 0
+}
+
+// AdvanceTo moves the clock to absolute time t without crossing an
+// interval completion: every running core advances partially. The caller
+// must ensure t does not exceed NextEventTime (RunUntil and the cluster
+// engine do); t before the current time is an error.
+func (s *Sim) AdvanceTo(t float64) error {
+	span := t - s.tNow
+	if span < 0 {
+		return fmt.Errorf("rmasim: cannot advance to %g, clock is at %g", t, s.tNow)
+	}
+	if span == 0 {
+		return nil
+	}
+	for _, c := range s.cores {
+		if c == nil {
+			continue
+		}
+		dt := span
+		if c.stall > 0 {
+			burn := math.Min(c.stall, dt)
+			c.stall -= burn
+			dt -= burn
+			if c.firstRound {
+				c.energy += c.watts * burn
 			}
-			// The completing core entered a new interval (possibly a new
-			// phase); its rates must be refreshed even when its setting is
-			// unchanged.
-			c.refreshRates(db)
-			c.refreshBaseTPI(db, baseIdx)
+		}
+		if dt <= 0 {
+			continue
+		}
+		instr := dt / c.tpi
+		if instr > c.rem {
+			instr = c.rem
+		}
+		s.retire(c, instr)
+	}
+	s.tNow = t
+	return nil
+}
+
+// RunUntil advances the simulation to absolute time t, processing every
+// completion event scheduled up to and including t, and returns the cores
+// whose applications finished a full round on the way (in event order).
+func (s *Sim) RunUntil(t float64) ([]int, error) {
+	var finished []int
+	for s.NextEventTime() <= t {
+		f, err := s.Step()
+		if err != nil {
+			return finished, err
+		}
+		finished = append(finished, f...)
+	}
+	if s.tNow < t {
+		if err := s.AdvanceTo(t); err != nil {
+			return finished, err
 		}
 	}
-	if remaining > 0 {
-		return nil, fmt.Errorf("rmasim: event budget exhausted with %d apps unfinished", remaining)
-	}
+	return finished, nil
+}
 
-	res := score(db, mgr, cores)
-	res.Intervals = auditIntervals
-	res.IntervalViolations = auditViolations
-	res.ViolationMeanPct = audit.Mean()
-	res.ViolationStdPct = audit.StdDev()
-	res.Timeline = timeline
-	return res, nil
+// Run simulates the workload (one benchmark name per core) under the given
+// manager and returns the scored result: the classic closed-world entry
+// point, a thin wrapper over the stepper. The manager must be configured
+// for the same system as the database.
+func Run(db *simdb.DB, workload []string, mgr *core.Manager, opt Options) (*Result, error) {
+	sim, err := New(db, workload, mgr, opt)
+	if err != nil {
+		return nil, err
+	}
+	for sim.inFirstRound > 0 {
+		if _, err := sim.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return sim.Result(), nil
+}
+
+// Result scores the simulation: one AppResult per occupied core, plus the
+// aggregate energy savings and the interval-level QoS audit accumulated so
+// far. Run calls it once every first round has completed; open-system
+// callers score departures individually through Depart instead.
+func (s *Sim) Result() *Result {
+	res := &Result{
+		Scheme:      s.mgr.Scheme().String(),
+		Invocations: s.mgr.Invocations,
+	}
+	var sumE, sumBaseE float64
+	for i, c := range s.cores {
+		if c == nil {
+			continue
+		}
+		app := s.appResult(i, c)
+		if app.Violated() {
+			res.Violations++
+		}
+		res.Apps = append(res.Apps, app)
+		sumE += c.energy
+		sumBaseE += app.BaselineEnergy
+	}
+	if sumBaseE > 0 {
+		res.EnergySavings = 1 - sumE/sumBaseE
+	}
+	res.Intervals = s.auditIntervals
+	res.IntervalViolations = s.auditViolations
+	res.ViolationMeanPct = s.audit.Mean()
+	res.ViolationStdPct = s.audit.StdDev()
+	res.Timeline = s.timeline
+	return res
+}
+
+// appResult scores one core's application against its static baseline.
+func (s *Sim) appResult(coreID int, c *coreState) AppResult {
+	bt, be := baselineRound(s.db, c.id)
+	t := c.time
+	if c.firstRound {
+		// Unfinished round (early departure): score the elapsed time.
+		t = s.tNow - c.start
+	}
+	app := AppResult{
+		Core:           coreID,
+		Bench:          c.bench,
+		Time:           t,
+		Energy:         c.energy,
+		BaselineTime:   bt,
+		BaselineEnergy: be,
+		ExcessTime:     (t - bt) / bt,
+		AllowedSlack:   s.mgr.Slack(coreID),
+	}
+	if c.usedInstr > 0 {
+		app.MeanFreqGHz = c.usedFreq / c.usedInstr
+		app.MeanWays = c.usedWays / c.usedInstr
+	}
+	return app
 }
 
 // refreshBaseTPI caches the baseline TPI of the core's current interval.
@@ -288,36 +672,50 @@ func (c *coreState) refreshBaseTPI(db *simdb.DB, baseIdx int) {
 
 // refreshRates updates a core's TPI/EPI for its current interval + setting.
 func (c *coreState) refreshRates(db *simdb.DB) {
-	pt := db.PerfAt(c.id, c.phases[c.slice], c.setIdx)
+	c.setRates(db.PerfAt(c.id, c.phases[c.slice], c.setIdx))
+}
+
+// setRates installs an interval's performance point as the core's current
+// rates. A degenerate zero-duration point sustains no power draw: watts is
+// zeroed rather than left at the previous setting's value, which would
+// charge reconfiguration-stall energy at a stale rate.
+func (c *coreState) setRates(pt *simdb.PerfPoint) {
 	c.tpi = pt.TPI
 	c.epi = pt.EPI
 	if pt.Seconds > 0 {
 		// Power drawn while stalled on a reconfiguration: leakage + uncore.
 		c.watts = (pt.Energy.CoreStat + pt.Energy.Uncore) / pt.Seconds
+	} else {
+		c.watts = 0
 	}
 }
 
-// applySettings installs new settings on all cores, charging
+// applySettings installs new settings on all occupied cores, charging
 // reconfiguration overheads for every core whose allocation changed.
-func applySettings(db *simdb.DB, cores []*coreState, settings []arch.Setting, record func(float64, int, arch.Setting), tNow float64) {
-	sw := db.Sys.Switch
-	for i, c := range cores {
-		s := settings[i]
-		old := c.setting
-		if s == old {
+func (s *Sim) applySettings(settings []arch.Setting) {
+	sw := s.db.Sys.Switch
+	for i, c := range s.cores {
+		if c == nil {
 			continue
 		}
-		record(tNow, i, s)
+		ns := settings[i]
+		old := c.setting
+		if ns == old {
+			continue
+		}
+		if s.opt.Timeline {
+			s.timeline = append(s.timeline, TimelineEvent{TimeSec: s.tNow, Core: i, Setting: ns})
+		}
 		var stallNs, extraJ float64
-		if s.FreqIdx != old.FreqIdx {
+		if ns.FreqIdx != old.FreqIdx {
 			stallNs += sw.DVFSTransNs
 			extraJ += sw.DVFSTransJ
 		}
-		if s.Size != old.Size {
+		if ns.Size != old.Size {
 			stallNs += sw.CoreResizeNs
 			extraJ += sw.CoreResizeJ
 		}
-		if gained := s.Ways - old.Ways; gained > 0 {
+		if gained := ns.Ways - old.Ways; gained > 0 {
 			stallNs += sw.WayMigrateNs * float64(gained)
 			extraJ += sw.WayMigrateJ * float64(gained)
 		}
@@ -325,9 +723,9 @@ func applySettings(db *simdb.DB, cores []*coreState, settings []arch.Setting, re
 		if c.firstRound {
 			c.energy += extraJ
 		}
-		c.setting = s
-		c.setIdx = db.Lattice.Index(s)
-		c.refreshRates(db)
+		c.setting = ns
+		c.setIdx = s.db.Lattice.Index(ns)
+		c.refreshRates(s.db)
 	}
 }
 
@@ -365,40 +763,6 @@ func (c *coreState) gatherStats(db *simdb.DB, coreID, completed int, oracle bool
 	return st
 }
 
-// score computes per-app baselines and aggregates the result.
-func score(db *simdb.DB, mgr *core.Manager, cores []*coreState) *Result {
-	res := &Result{
-		Scheme:      mgr.Scheme().String(),
-		Invocations: mgr.Invocations,
-	}
-	var sumE, sumBaseE float64
-	for i, c := range cores {
-		bt, be := baselineRound(db, c.id)
-		app := AppResult{
-			Core:           i,
-			Bench:          c.bench,
-			Time:           c.time,
-			Energy:         c.energy,
-			BaselineTime:   bt,
-			BaselineEnergy: be,
-			ExcessTime:     (c.time - bt) / bt,
-			AllowedSlack:   mgr.Slack(i),
-		}
-		if c.usedInstr > 0 {
-			app.MeanFreqGHz = c.usedFreq / c.usedInstr
-			app.MeanWays = c.usedWays / c.usedInstr
-		}
-		if app.Violated() {
-			res.Violations++
-		}
-		res.Apps = append(res.Apps, app)
-		sumE += c.energy
-		sumBaseE += be
-	}
-	res.EnergySavings = 1 - sumE/sumBaseE
-	return res
-}
-
 // BaselineRound returns the time and energy of one full round of the
 // benchmark at the static baseline setting. Under strict partitioning the
 // baseline is independent of co-runners, so it can be computed directly
@@ -414,7 +778,7 @@ func BaselineRound(db *simdb.DB, bench string) (seconds, joules float64, err err
 
 // baselineRound is the interned fast path of BaselineRound.
 func baselineRound(db *simdb.DB, id simdb.BenchID) (seconds, joules float64) {
-	baseIdx := db.Lattice.Index(db.Sys.BaselineSetting())
+	baseIdx := db.BaselineIdx()
 	for _, phase := range db.PhaseTraceAt(id) {
 		pt := db.PerfAt(id, phase, baseIdx)
 		seconds += pt.Seconds

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"qosrma/internal/arch"
 	"qosrma/internal/core"
@@ -70,29 +71,103 @@ func aggregateStats(db *simdb.DB, bench string, coreID int) (*core.IntervalStats
 	return agg, nil
 }
 
-// PredictSavings scores one machine's workload: the energy savings the
-// coordinated manager is predicted to reach with an optimal static
-// allocation, relative to the baseline allocation.
-func PredictSavings(db *simdb.DB, apps []string) (float64, error) {
-	n := db.Sys.NumCores
-	if len(apps) != n {
-		return 0, fmt.Errorf("sched: machine needs %d apps, got %d", n, len(apps))
+// Scorer scores machine workloads for online placement: the per-benchmark
+// whole-program statistics and energy curves behind the collocation score
+// are memoized (curves per way cap, which varies with machine occupancy),
+// so repeated Score calls — one per candidate machine per arrival in the
+// cluster engine — reduce to one AllocateWays reduction over cached
+// curves. A Scorer is safe for concurrent use; cached curves are shared
+// read-only.
+type Scorer struct {
+	db     *simdb.DB
+	mu     sync.Mutex
+	agg    map[string]*core.IntervalStats
+	curves map[curveKey]*core.Curve
+	idle   *core.Curve
+}
+
+// curveKey identifies one memoized energy curve.
+type curveKey struct {
+	bench   string
+	maxWays int
+}
+
+// NewScorer builds a scorer over the database.
+func NewScorer(db *simdb.DB) *Scorer {
+	return &Scorer{
+		db:     db,
+		agg:    make(map[string]*core.IntervalStats),
+		curves: make(map[curveKey]*core.Curve),
 	}
-	pred := core.Predictor{Sys: &db.Sys, Power: db.Power, Kind: core.Model3}
-	maxWays := db.Sys.LLC.Assoc - (n - 1)
-	base := db.Sys.BaselineSetting()
+}
+
+// curve returns the memoized energy curve and whole-program statistics of
+// one benchmark under the given way cap.
+func (sc *Scorer) curve(bench string, maxWays int, pred core.Predictor) (*core.Curve, *core.IntervalStats, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	st, ok := sc.agg[bench]
+	if !ok {
+		var err error
+		st, err = aggregateStats(sc.db, bench, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		sc.agg[bench] = st
+	}
+	key := curveKey{bench: bench, maxWays: maxWays}
+	cv, ok := sc.curves[key]
+	if !ok {
+		cv = pred.BuildCurve(st, core.LocalOptions{MaxWays: maxWays})
+		sc.curves[key] = cv
+	}
+	return cv, st, nil
+}
+
+// idleCurve returns the scorer's shared zero-cost stand-in curve.
+func (sc *Scorer) idleCurve() *core.Curve {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.idle == nil {
+		sc.idle = core.IdleCurve(sc.db.Sys.LLC.Assoc, sc.db.Sys.BaselineSetting())
+	}
+	return sc.idle
+}
+
+// Score predicts the energy savings the coordinated manager reaches on one
+// machine running apps — between one application and a full machine. Each
+// application's energy curve is reduced to the optimal static allocation
+// and compared against the baseline allocation; unoccupied cores stand in
+// with the zero-cost idle curve (core.IdleCurve), exactly as the online
+// manager treats them. With a full machine the score equals PredictSavings.
+func (sc *Scorer) Score(apps []string) (float64, error) {
+	n := sc.db.Sys.NumCores
+	if len(apps) == 0 || len(apps) > n {
+		return 0, fmt.Errorf("sched: machine holds 1..%d apps, got %d", n, len(apps))
+	}
+	pred := core.Predictor{Sys: &sc.db.Sys, Power: sc.db.Power, Kind: core.Model3}
+	// One way is reserved per *present* co-runner, so the ways of the
+	// machine's unoccupied cores are genuinely available to the tenants —
+	// the same occupancy-aware cap the online manager applies.
+	maxWays := sc.db.Sys.LLC.Assoc - (len(apps) - 1)
+	base := sc.db.Sys.BaselineSetting()
 
 	curves := make([]*core.Curve, n)
 	var baseEPI float64
 	for i, app := range apps {
-		st, err := aggregateStats(db, app, i)
+		cv, st, err := sc.curve(app, maxWays, pred)
 		if err != nil {
 			return 0, err
 		}
-		curves[i] = pred.BuildCurve(st, core.LocalOptions{MaxWays: maxWays})
+		curves[i] = cv
 		baseEPI += pred.EPI(st, base)
 	}
-	alloc, ok := core.AllocateWays(curves, db.Sys.LLC.Assoc)
+	if len(apps) < n {
+		for i := len(apps); i < n; i++ {
+			curves[i] = sc.idleCurve()
+		}
+	}
+	alloc, ok := core.AllocateWays(curves, sc.db.Sys.LLC.Assoc)
 	if !ok {
 		return 0, nil
 	}
@@ -101,6 +176,18 @@ func PredictSavings(db *simdb.DB, apps []string) (float64, error) {
 		return 0, nil
 	}
 	return 1 - chosen/baseEPI, nil
+}
+
+// PredictSavings scores one machine's workload: the energy savings the
+// coordinated manager is predicted to reach with an optimal static
+// allocation, relative to the baseline allocation. It is the one-shot,
+// full-machine form of Scorer.Score.
+func PredictSavings(db *simdb.DB, apps []string) (float64, error) {
+	n := db.Sys.NumCores
+	if len(apps) != n {
+		return 0, fmt.Errorf("sched: machine needs %d apps, got %d", n, len(apps))
+	}
+	return NewScorer(db).Score(apps)
 }
 
 // Assignment is one collocation of applications onto machines.
@@ -131,15 +218,17 @@ func Collocate(db *simdb.DB, apps []string, machines int) (*Assignment, error) {
 	// Start from the given order, then swap-descend: try exchanging every
 	// cross-machine pair and keep improvements until a fixed point. With
 	// two machines this converges to the exhaustive optimum on all inputs
-	// we generate; the score function makes each step cheap.
+	// we generate; one shared Scorer makes each step a cached-curve
+	// reduction rather than a from-scratch prediction.
 	assign := make([][]string, machines)
 	for m := range assign {
 		assign[m] = append([]string(nil), apps[m*per:(m+1)*per]...)
 	}
+	sc := NewScorer(db)
 	score := func() (float64, error) {
 		var total float64
 		for _, machine := range assign {
-			s, err := PredictSavings(db, machine)
+			s, err := sc.Score(machine)
 			if err != nil {
 				return 0, err
 			}
@@ -208,10 +297,11 @@ func WorstCollocation(db *simdb.DB, apps []string, machines int) (*Assignment, e
 		m := i / per
 		assign[m] = append(assign[m], x.app)
 	}
+	sc := NewScorer(db)
 	total := 0.0
 	worst := math.Inf(1)
 	for _, machine := range assign {
-		s, err := PredictSavings(db, machine)
+		s, err := sc.Score(machine)
 		if err != nil {
 			return nil, err
 		}

@@ -138,3 +138,65 @@ func TestWorstCollocationClustersSimilarApps(t *testing.T) {
 		t.Fatalf("adversarial grouping did not cluster: %v", perMachine)
 	}
 }
+
+func TestScorerMatchesPredictSavings(t *testing.T) {
+	db := testDB(t)
+	sc := NewScorer(db)
+	machines := [][]string{
+		{"mcf", "omnetpp", "gamess", "hmmer"},
+		{"gamess", "hmmer", "namd", "povray"},
+		{"mcf", "xalancbmk", "perlbench", "namd"},
+	}
+	for _, apps := range machines {
+		want, err := PredictSavings(db, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sc.Score(apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Score(%v) = %v, PredictSavings = %v", apps, got, want)
+		}
+		// Memoized second call must be bit-identical.
+		again, err := sc.Score(apps)
+		if err != nil || again != got {
+			t.Fatalf("memoized Score differs: %v vs %v (%v)", again, got, err)
+		}
+	}
+}
+
+func TestScorerPartialMachine(t *testing.T) {
+	db := testDB(t)
+	sc := NewScorer(db)
+	// A lone application always meets its QoS with the whole surplus at its
+	// disposal: the score must be finite and non-negative.
+	solo, err := sc.Score([]string{"mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo < 0 || solo > 1 {
+		t.Fatalf("solo score %v out of range", solo)
+	}
+	// Adding a compute-bound donor to a cache-hungry app must not destroy
+	// the prediction (scores stay in range and defined for every load).
+	for n := 2; n <= db.Sys.NumCores; n++ {
+		s, err := sc.Score(eightApps[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < -1 || s > 1 {
+			t.Fatalf("score %v for %d apps out of range", s, n)
+		}
+	}
+	if _, err := sc.Score(nil); err == nil {
+		t.Fatal("empty machine must be rejected")
+	}
+	if _, err := sc.Score(eightApps[:5]); err == nil {
+		t.Fatal("overfull machine must be rejected")
+	}
+	if _, err := sc.Score([]string{"nosuch"}); err == nil {
+		t.Fatal("unknown benchmark must be rejected")
+	}
+}

@@ -104,6 +104,11 @@ type DB struct {
 
 	byName map[string]BenchID // rebuilt on load; not serialized
 	memo   *recompileMemo     // shared by shallow copies; not serialized
+
+	// baseIdx1 caches the lattice index of the baseline setting, stored +1
+	// so zero means "not computed" (hand-constructed test databases never
+	// go through reindex). Refreshed by WithSys when the baseline moves.
+	baseIdx1 int
 }
 
 // recompileMemo memoizes bandwidth-override recompilations. It hangs off
@@ -294,6 +299,30 @@ func (db *DB) reindex() {
 	if db.memo == nil {
 		db.memo = newRecompileMemo()
 	}
+	db.baseIdx1 = db.Lattice.Index(db.Sys.BaselineSetting()) + 1
+}
+
+// BaselineIdx returns the lattice index of the system's baseline setting.
+// It is cached at build/load time so the RMA simulator's scoring loops
+// never re-derive it; a database constructed by hand (tests) computes it
+// on the fly without mutating shared state.
+func (db *DB) BaselineIdx() int {
+	if db.baseIdx1 != 0 {
+		return db.baseIdx1 - 1
+	}
+	return db.Lattice.Index(db.Sys.BaselineSetting())
+}
+
+// WithSys returns a shallow copy of the database bound to sys, refreshing
+// the derived cached state (the baseline lattice index). The copy shares
+// every compiled table, so sys must differ only in parameters that do not
+// change them — baseline setting, switch costs; overrides that change the
+// ground-truth model go through Recompiled/RecompiledCached instead.
+func (db *DB) WithSys(sys arch.SystemConfig) *DB {
+	out := *db
+	out.Sys = sys
+	out.baseIdx1 = out.Lattice.Index(sys.BaselineSetting()) + 1
+	return &out
 }
 
 func newRecompileMemo() *recompileMemo {
@@ -378,9 +407,7 @@ func (db *DB) RecompiledCached(sys arch.SystemConfig) *DB {
 		}
 		m.mu.Unlock()
 	}
-	out := *cached
-	out.Sys = sys
-	return &out
+	return cached.WithSys(sys)
 }
 
 // simulatePhase returns the detailed-simulation record of one phase,

@@ -119,9 +119,7 @@ func Execute(spec RunSpec) (*rmasim.Result, error) {
 			sys.Mem.PerCoreGBps = spec.PerCoreGBps
 			db = db.RecompiledCached(sys)
 		} else {
-			clone := *db
-			clone.Sys = sys
-			db = &clone
+			db = db.WithSys(sys)
 		}
 	}
 	mgr := core.NewManager(core.Config{

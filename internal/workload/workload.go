@@ -179,6 +179,11 @@ type Mix struct {
 // that span homogeneous and heterogeneous combinations, and through the
 // benchmarks within each category.
 func PaperIMixes(profiles []*Profile, cores, numMixes int) []Mix {
+	if len(profiles) == 0 {
+		// Degenerate (empty) database: there is nothing to pick from, not
+		// even through the any-class fallback below, so no mixes exist.
+		return nil
+	}
 	groups := ByClass(profiles)
 	// Category patterns for 4 apps; for more cores the pattern repeats.
 	patterns := [][]Class{
@@ -295,6 +300,11 @@ func ByPaperIIClass(profiles []*Profile) map[PaperIIClass][]string {
 // systematic analysis: for every ordered pair (A, B) of the four Paper II
 // categories, a mix with two applications from A and two from B.
 func PaperIIMixes(profiles []*Profile) []Mix {
+	if len(profiles) == 0 {
+		// Same degenerate case as PaperIMixes: the fallback loop would find
+		// every group empty and the in-group pick would divide by zero.
+		return nil
+	}
 	groups := ByPaperIIClass(profiles)
 	all := []PaperIIClass{CSPS, CSPI, CIPS, CIPI}
 	next := make(map[PaperIIClass]int)

@@ -15,9 +15,13 @@
 //     dense per-phase performance tables over the (core size × DVFS level ×
 //     ways) setting lattice (internal/simdb, internal/arch.Lattice),
 //   - the QoS-driven coordinated resource managers (internal/core),
-//   - the co-phase RMA simulator (internal/rmasim), and
+//   - the resumable co-phase RMA simulator (internal/rmasim), whose
+//     stepper also powers dynamic, open-system scenarios,
 //   - the scenario-sweep engine with its memoizing result cache
-//     (internal/sweep), reachable through System.Sweep.
+//     (internal/sweep), reachable through System.Sweep, and
+//   - the open-system cluster engine (internal/cluster) — fleets of
+//     machines fed by deterministic arrival traces with scored online
+//     placement — reachable through System.Cluster.
 //
 // The compiled-lattice design follows the thesis methodology (Figure 2.1)
 // to its conclusion: simulate in detail once, then answer every query by
