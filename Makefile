@@ -23,7 +23,8 @@ MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulateP
 # benchstat comparison is noise.
 MICRO_FLAGS ?= -benchtime=0.2s -count=5
 
-.PHONY: all build test test-short lint bench benchbase benchdiff pprof example-cluster clean
+.PHONY: all build test test-short lint bench benchbase benchdiff pprof example-cluster \
+	loadtest determinism golden cover cover-check fuzz-smoke clean
 
 all: build lint test
 
@@ -70,6 +71,43 @@ benchdiff:
 example-cluster:
 	$(GO) run ./examples/cluster -short
 
+# Serving-layer smoke: start qosrmad, drive it with the deterministic
+# loadgen trace, enforce the 100k decide-requests/sec floor and leave the
+# report in loadgen.txt (uploaded with the CI bench artifacts).
+loadtest:
+	./scripts/loadtest.sh
+
+# The byte-determinism wall, promoted to the per-push CI lane: the cluster
+# engine's emitter output across worker counts {1,4,GOMAXPROCS}, database
+# builds across worker counts, and concurrent service batches vs
+# sequential library calls. Run without -short (these need real database
+# builds) and without caching.
+determinism:
+	$(GO) test -count=1 -run \
+		'TestClusterDeterministic|TestBuildDeterministicAcrossWorkerCounts|TestConcurrentDecideDeterministic|TestDecideMatchesLibrary' \
+		./internal/cluster ./internal/simdb ./internal/service
+
+# Golden-table regression: regenerate the committed paper tables through
+# System.Sweep and fail on any byte drift (refresh intentionally with
+# `go test -run TestGoldenTables -update .`).
+golden:
+	$(GO) test -count=1 -run TestGoldenTables .
+
+# Fuzz regression: run every fuzz target over its seed corpus only (no
+# fuzzing time), so corpus regressions fail fast in CI; `go test -fuzz`
+# explores further locally.
+fuzz-smoke:
+	$(GO) test -count=1 -run 'Fuzz' ./internal/simdb ./internal/service ./internal/cache ./internal/core
+
+# Coverage report: cover/cover.out + per-package HTML + cover/func.txt.
+cover:
+	./scripts/cover.sh
+
+# Ratcheting CI floor: fail when total coverage drops below
+# .coverage-floor (kept at measured% - 1; raise it as coverage grows).
+cover-check:
+	./scripts/cover.sh check
+
 # CPU-profile the build side: one cold SharedEnv construction plus the hot
 # profiling kernels, then print the top consumers. cpu.prof stays on disk
 # for `go tool pprof` drill-down (web/peek/list).
@@ -79,5 +117,6 @@ pprof:
 	$(GO) tool pprof -top -nodecount=25 qosrma.test cpu.prof | tee pprof.txt
 
 clean:
-	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF) cpu.prof pprof.txt qosrma.test
+	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF) cpu.prof pprof.txt qosrma.test loadgen.txt
+	rm -rf cover bin
 	$(GO) clean ./...

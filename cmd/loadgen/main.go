@@ -1,0 +1,264 @@
+// Command loadgen drives a running qosrmad with a deterministic co-phase
+// decision workload and reports throughput and latency percentiles.
+//
+// The query population is drawn once from a seeded RNG (same seed, same
+// queries — byte for byte), so runs are reproducible and the server's
+// cache behaviour is controlled by -population: with the default the
+// working set fits the decision LRUs and the run measures the cached hot
+// path; raise it beyond shards x cache to measure compute throughput.
+//
+// Two driving modes:
+//
+//	-mode closed   -conns workers send batches back-to-back (throughput)
+//	-mode open     batches are launched on a Poisson arrival schedule
+//	               drawn from the workload arrival generator at -rate
+//	               queries/sec; latency is measured from the scheduled
+//	               arrival, so queueing delay is included (no coordinated
+//	               omission)
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:7743 -duration 2s -conns 4 -batch 64
+//	loadgen -mode open -rate 50000 -duration 5s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qosrma/internal/stats"
+	"qosrma/internal/workload"
+)
+
+type metaBench struct {
+	Name   string `json:"name"`
+	Phases int    `json:"phases"`
+}
+
+type meta struct {
+	NumCores int         `json:"num_cores"`
+	Benches  []metaBench `json:"benches"`
+}
+
+type appQuery struct {
+	Bench string `json:"bench"`
+	Phase int    `json:"phase"`
+}
+
+type decideQuery struct {
+	Scheme string     `json:"scheme,omitempty"`
+	Slack  float64    `json:"slack,omitempty"`
+	Apps   []appQuery `json:"apps"`
+}
+
+type decideRequest struct {
+	Queries []decideQuery `json:"queries"`
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7743", "qosrmad address")
+		duration   = flag.Duration("duration", 2*time.Second, "run length")
+		conns      = flag.Int("conns", 4, "concurrent connections (closed mode) / max in flight (open mode)")
+		batch      = flag.Int("batch", 64, "decide queries per HTTP request")
+		mode       = flag.String("mode", "closed", "closed (back-to-back) or open (Poisson arrivals)")
+		rate       = flag.Float64("rate", 50000, "open mode: offered load in queries/sec")
+		seed       = flag.Uint64("seed", 1, "trace seed (same seed, same queries)")
+		scheme     = flag.String("scheme", "rm2", "decide scheme")
+		slack      = flag.Float64("slack", 0.2, "uniform QoS slack")
+		population = flag.Int("population", 512, "distinct co-phase queries in the trace")
+		out        = flag.String("out", "", "also write the report to this file")
+	)
+	flag.Parse()
+
+	base := "http://" + *addr
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *conns * 2,
+		MaxIdleConnsPerHost: *conns * 2,
+	}}
+
+	m, err := fetchMeta(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Draw the deterministic query population: every query is a full
+	// co-phase vector (one (bench, phase) per core).
+	rng := stats.NewRNG(stats.SeedFrom(*seed, "loadgen/queries"))
+	queries := make([]decideQuery, *population)
+	for i := range queries {
+		apps := make([]appQuery, m.NumCores)
+		for c := range apps {
+			b := m.Benches[rng.Intn(len(m.Benches))]
+			apps[c] = appQuery{Bench: b.Name, Phase: rng.Intn(b.Phases)}
+		}
+		queries[i] = decideQuery{Scheme: *scheme, Slack: *slack, Apps: apps}
+	}
+	// Pre-encode one request body per distinct batch window so the send
+	// loops measure the server, not the client's JSON encoder.
+	numBodies := (*population + *batch - 1) / *batch
+	bodies := make([][]byte, numBodies)
+	for i := range bodies {
+		lo := i * *batch
+		hi := lo + *batch
+		var win []decideQuery
+		for j := lo; j < hi; j++ {
+			win = append(win, queries[j%*population])
+		}
+		b, err := json.Marshal(decideRequest{Queries: win})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		bodies[i] = b
+	}
+
+	var (
+		sent     atomic.Int64 // batches completed
+		errs     atomic.Int64
+		latMu    sync.Mutex
+		lats     []time.Duration
+		deadline = time.Now().Add(*duration)
+	)
+	record := func(d time.Duration) {
+		latMu.Lock()
+		lats = append(lats, d)
+		latMu.Unlock()
+	}
+	post := func(body []byte) error {
+		resp, err := client.Post(base+"/v1/decide", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for reuse
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	switch *mode {
+	case "closed":
+		var wg sync.WaitGroup
+		for c := 0; c < *conns; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; time.Now().Before(deadline); i++ {
+					t0 := time.Now()
+					if err := post(bodies[i%len(bodies)]); err != nil {
+						errs.Add(1)
+						continue
+					}
+					record(time.Since(t0))
+					sent.Add(1)
+				}
+			}(c)
+		}
+		wg.Wait()
+	case "open":
+		// The arrival schedule comes from the deterministic workload
+		// arrival generator: one arrival per batch at rate/batch batches
+		// per second.
+		numBatches := int(*rate * duration.Seconds() / float64(*batch))
+		sched := workload.PoissonArrivals([]string{"batch"}, workload.ArrivalOptions{
+			Jobs:                numBatches,
+			MeanInterarrivalSec: float64(*batch) / *rate,
+			Seed:                *seed,
+		})
+		sem := make(chan struct{}, *conns)
+		var wg sync.WaitGroup
+		for i, a := range sched {
+			due := start.Add(time.Duration(a.TimeSec * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int, due time.Time) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := post(bodies[i%len(bodies)]); err != nil {
+					errs.Add(1)
+					return
+				}
+				record(time.Since(due)) // from scheduled arrival: includes queueing
+				sent.Add(1)
+			}(i, due)
+		}
+		wg.Wait()
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i].Seconds() * 1e3
+	}
+	batches := sent.Load()
+	qps := float64(batches) * float64(*batch) / elapsed.Seconds()
+	report := fmt.Sprintf(
+		"loadgen: mode=%s conns=%d batch=%d population=%d seed=%d duration=%.2fs\n"+
+			"queries=%d qps=%.0f batches=%d errors=%d\n"+
+			"batch latency ms: p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f max=%.3f\n",
+		*mode, *conns, *batch, *population, *seed, elapsed.Seconds(),
+		batches*int64(*batch), qps, batches, errs.Load(),
+		pct(0.50), pct(0.90), pct(0.99), pct(0.999), pct(1.0))
+	fmt.Print(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if errs.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// fetchMeta reads /v1/meta, retrying briefly so loadgen can be launched
+// alongside a still-starting server.
+func fetchMeta(client *http.Client, base string) (*meta, error) {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := client.Get(base + "/v1/meta")
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var m meta
+			err = json.NewDecoder(resp.Body).Decode(&m)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			if m.NumCores <= 0 || len(m.Benches) == 0 {
+				return nil, fmt.Errorf("meta is degenerate: %+v", m)
+			}
+			return &m, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("meta status %d", resp.StatusCode)
+			resp.Body.Close()
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("server not reachable: %w", lastErr)
+}

@@ -1,0 +1,65 @@
+// Command qosrmad is the long-running QoS-RMA decision service: it builds
+// (or loads) a compiled simulation database once at startup and then
+// serves resource-management decisions, collocation scores and scenario
+// sweeps over HTTP/JSON.
+//
+// Endpoints (see internal/service):
+//
+//	POST /v1/decide           per-machine RMA settings for co-phase vectors
+//	POST /v1/score            collocation scoring / online placement
+//	POST /v1/sweep            submit an async scenario sweep
+//	GET  /v1/sweep/{id}       sweep job status
+//	GET  /v1/sweep/{id}/result?format=csv|json
+//	GET  /v1/meta             servable benchmarks, phases, schemes
+//	GET  /v1/healthz          liveness + shard/cache statistics
+//
+// Usage:
+//
+//	qosrmad -addr :7743 -cores 4
+//	qosrmad -addr :7743 -db db.gob.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"qosrma"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7743", "listen address")
+		cores  = flag.Int("cores", 4, "cores per machine (when building the database)")
+		dbPath = flag.String("db", "", "load a compiled database instead of building one")
+		shards = flag.Int("shards", 0, "decision shards (0 = GOMAXPROCS, capped at 16)")
+		batch  = flag.Int("batch", 0, "shard micro-batch size (0 = default 64)")
+		cache  = flag.Int("cache", 0, "per-shard decision-LRU entries (0 = default 4096, negative disables)")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	var (
+		sys *qosrma.System
+		err error
+	)
+	if *dbPath != "" {
+		sys, err = qosrma.LoadSystem(*dbPath)
+	} else {
+		sys, err = qosrma.NewSystem(*cores)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qosrmad: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("qosrmad: database ready in %.2fs (%d cores, %d benchmarks); listening on %s",
+		time.Since(start).Seconds(), sys.Config().NumCores, sys.DB().NumBenches(), *addr)
+	if err := sys.Serve(qosrma.ServeSpec{
+		Addr: *addr, Shards: *shards, Batch: *batch, CacheSize: *cache,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "qosrmad: %v\n", err)
+		os.Exit(1)
+	}
+}

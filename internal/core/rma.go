@@ -338,6 +338,118 @@ func (m *Manager) Decide(invoker int, st *IntervalStats) ([]arch.Setting, bool) 
 	return m.Settings(), true
 }
 
+// DecideAll is the one-shot batch form of Decide: statistics for every
+// occupied core arrive together and the manager answers with the settings
+// the sequential invocation order (Decide(0, st[0]) … Decide(n-1, st[n-1]))
+// would have produced — bit-identically, a property the decision service's
+// tests pin. Every occupied core's curve is rebuilt into its reusable
+// buffer, so a manager kept per serving shard answers repeated queries
+// without allocating and without leaking curve state between queries
+// (stale curves from a previous query are always overwritten before the
+// global reduction runs). Entries of st may be nil for vacant cores.
+func (m *Manager) DecideAll(st []*IntervalStats) ([]arch.Setting, bool) {
+	if len(st) != len(m.settings) {
+		panic("core: DecideAll statistics length mismatch")
+	}
+	m.Invocations++
+	sys := m.cfg.Sys
+
+	if m.feedback != nil {
+		for i, s := range st {
+			if s != nil && m.occupied[i] {
+				m.feedback[i].Observe(s)
+			}
+		}
+	}
+	for i, s := range st {
+		if m.occupied[i] && s != nil {
+			m.lastStats[i] = s
+		}
+	}
+
+	switch m.cfg.Scheme {
+	case SchemeStatic:
+		return nil, false
+
+	case SchemeUCPDVFS:
+		// The sequential order's decisive invocation is the last core with
+		// statistics, and its Decide runs the whole uncoordinated pass with
+		// that core's feedback table installed — reproduce exactly that.
+		if m.feedback != nil {
+			for i := len(st) - 1; i >= 0; i-- {
+				if m.occupied[i] && st[i] != nil {
+					m.pred.Feedback = m.feedback[i]
+					break
+				}
+			}
+			defer func() { m.pred.Feedback = nil }()
+		}
+		return m.decideUncoordinated()
+
+	case SchemeDVFSOnly:
+		// Independent per-core frequency choices, applied in core order
+		// exactly as the sequential loop would: infeasible cores keep their
+		// current setting, and the call reports a decision when the final
+		// core's did (matching the loop's last return value).
+		changed := false
+		for i, s := range st {
+			if !m.occupied[i] || s == nil {
+				continue
+			}
+			if m.feedback != nil {
+				m.pred.Feedback = m.feedback[i]
+			}
+			m.scratch = m.pred.BuildCurveInto(s, m.localOptions(i), m.scratch)
+			o := m.scratch.Options[sys.BaselineWays()]
+			changed = o.Feasible
+			if !o.Feasible {
+				continue
+			}
+			m.settings[i] = arch.Setting{
+				Size: o.Size, FreqIdx: o.FreqIdx, Ways: sys.BaselineWays(),
+			}
+		}
+		m.pred.Feedback = nil
+		if !changed {
+			return nil, false
+		}
+		return m.Settings(), true
+	}
+
+	// Coordinated schemes: rebuild every occupied core's curve, then run
+	// one global reduction (the sequential loop's intermediate reductions
+	// are unobservable — only the final one, over these same curves,
+	// determines the answer).
+	for i, s := range st {
+		if !m.occupied[i] {
+			continue
+		}
+		if s == nil {
+			if m.curves[i] == nil {
+				return nil, false // warm-up: a core has no statistics yet
+			}
+			continue
+		}
+		if m.feedback != nil {
+			m.pred.Feedback = m.feedback[i]
+		}
+		m.curves[i] = m.pred.BuildCurveInto(s, m.localOptions(i), m.curves[i])
+	}
+	m.pred.Feedback = nil
+	curves := m.decisionCurves()
+	alloc, ok := AllocateWays(curves, sys.LLC.Assoc)
+	if !ok {
+		return nil, false
+	}
+	m.settings = SettingsFromCurves(curves, alloc)
+	for i := range m.settings {
+		if !m.occupied[i] {
+			m.settings[i] = sys.BaselineSetting()
+		}
+	}
+	return m.Settings(), true
+}
+
 // decideUncoordinated implements the independent-controller design: UCP
 // partitions the cache to minimize total misses, then a QoS-aware DVFS
 // controller independently picks each core's frequency for the allocation

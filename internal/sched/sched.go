@@ -134,6 +134,14 @@ func (sc *Scorer) idleCurve() *core.Curve {
 	return sc.idle
 }
 
+// ScoreBuf is a reusable scratch buffer for ScoreInto: the per-call curve
+// slice of Score, owned by the caller so a serving shard scoring thousands
+// of candidate machines allocates it once. The zero value is ready to use;
+// a ScoreBuf must not be shared between concurrent ScoreInto calls.
+type ScoreBuf struct {
+	curves []*core.Curve
+}
+
 // Score predicts the energy savings the coordinated manager reaches on one
 // machine running apps — between one application and a full machine. Each
 // application's energy curve is reduced to the optimal static allocation
@@ -141,6 +149,13 @@ func (sc *Scorer) idleCurve() *core.Curve {
 // with the zero-cost idle curve (core.IdleCurve), exactly as the online
 // manager treats them. With a full machine the score equals PredictSavings.
 func (sc *Scorer) Score(apps []string) (float64, error) {
+	var buf ScoreBuf
+	return sc.ScoreInto(apps, &buf)
+}
+
+// ScoreInto is Score with caller-owned scratch (see ScoreBuf); results are
+// bit-identical to Score.
+func (sc *Scorer) ScoreInto(apps []string, buf *ScoreBuf) (float64, error) {
 	n := sc.db.Sys.NumCores
 	if len(apps) == 0 || len(apps) > n {
 		return 0, fmt.Errorf("sched: machine holds 1..%d apps, got %d", n, len(apps))
@@ -152,7 +167,10 @@ func (sc *Scorer) Score(apps []string) (float64, error) {
 	maxWays := sc.db.Sys.LLC.Assoc - (len(apps) - 1)
 	base := sc.db.Sys.BaselineSetting()
 
-	curves := make([]*core.Curve, n)
+	if cap(buf.curves) < n {
+		buf.curves = make([]*core.Curve, n)
+	}
+	curves := buf.curves[:n]
 	var baseEPI float64
 	for i, app := range apps {
 		cv, st, err := sc.curve(app, maxWays, pred)

@@ -1,0 +1,443 @@
+// Decision path of the service: /v1/decide requests are parsed and
+// validated on the handler goroutine, then routed — one task per query —
+// to a shard picked by hashing the query's canonical co-phase key. Each
+// shard runs one worker goroutine that drains its queue in micro-batches
+// and owns everything the hot path touches: the decision LRU, the
+// per-configuration managers with their reusable curve buffers, and the
+// per-core IntervalStats scratch. Nothing on the compute path locks or
+// allocates beyond the response itself, and because every query's curves
+// are rebuilt from its own statistics (core.Manager.DecideAll), answers
+// are bit-identical to direct library calls regardless of shard count,
+// batch size, cache state or arrival order — the service's central
+// invariant, pinned by TestDecideMatchesLibrary and
+// TestConcurrentDecideDeterministic.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/core"
+	"qosrma/internal/power"
+	"qosrma/internal/simdb"
+	"qosrma/internal/trace"
+)
+
+// AppQuery names one core's occupant in a decide query: a benchmark and a
+// phase of its SimPoint trace (the co-phase vector element).
+type AppQuery struct {
+	Bench string `json:"bench"`
+	Phase int    `json:"phase"`
+}
+
+// DecideRequest is the wire form of /v1/decide. Either a single query
+// (top-level fields) or a batch (Queries) may be supplied.
+type DecideRequest struct {
+	DecideQuery
+	Queries []DecideQuery `json:"queries,omitempty"`
+}
+
+// DecideQuery asks for the coordinated per-core settings of one co-phase
+// vector under one manager configuration.
+type DecideQuery struct {
+	// Scheme is the resource-management algorithm: static, dvfs, rm1, rm2,
+	// rm3 or ucp (default rm2).
+	Scheme string `json:"scheme,omitempty"`
+	// Model is the analytical predictor: 1, 2 or 3; 0 picks the scheme
+	// default (Model2, or Model3 for rm3).
+	Model int `json:"model,omitempty"`
+	// Slack is the uniform QoS relaxation; Slacks relaxes per core.
+	Slack  float64   `json:"slack,omitempty"`
+	Slacks []float64 `json:"slacks,omitempty"`
+	// Apps is the co-phase vector, one entry per core.
+	Apps []AppQuery `json:"apps"`
+}
+
+// SettingJSON is one core's resource allocation on the wire.
+type SettingJSON struct {
+	Size    string  `json:"size"`
+	FreqIdx int     `json:"freq_idx"`
+	FreqGHz float64 `json:"freq_ghz"`
+	Ways    int     `json:"ways"`
+}
+
+// DecideAnswer is the service's answer for one query. Decided reports
+// whether the manager produced a new allocation; when false (warm-up or no
+// feasible allocation) Settings is the baseline the machine stays at.
+type DecideAnswer struct {
+	Decided  bool          `json:"decided"`
+	Settings []SettingJSON `json:"settings"`
+}
+
+// DecideResponse is the wire form of a /v1/decide reply: Result for a
+// single query, Results index-aligned with the request batch.
+type DecideResponse struct {
+	Result  *DecideAnswer  `json:"result,omitempty"`
+	Results []DecideAnswer `json:"results,omitempty"`
+}
+
+// decideResult is the internal, wire-independent decision: what the
+// library path returns and what the LRU caches.
+type decideResult struct {
+	decided  bool
+	settings []arch.Setting // always numCores long
+}
+
+// decideQuery is a validated, resolved query: benchmarks interned, the
+// manager configuration canonicalized, and the routing/cache key built.
+type decideQuery struct {
+	cfg    managerKey
+	slack  []float64 // nil for zero slack
+	ids    []simdb.BenchID
+	phases []int
+	key    string
+}
+
+// managerKey identifies one manager configuration in a shard's pool.
+type managerKey struct {
+	scheme core.Scheme
+	model  core.ModelKind
+	// slackKey is the canonical rendering of the per-core slack vector
+	// ("" when every core has zero slack), keeping the struct comparable.
+	slackKey string
+}
+
+// task is one query in flight through a shard.
+type task struct {
+	q   *decideQuery
+	res *decideResult
+	wg  *sync.WaitGroup
+}
+
+// shard owns a partition of the decision key space.
+type shard struct {
+	srv  *Server
+	ch   chan task
+	lru  *lru
+	mgrs map[managerKey]*core.Manager
+
+	// Reusable per-core statistics buffers; pointers alias the buffers and
+	// are re-filled before every DecideAll (the manager retains them only
+	// until the next call, exactly like the RMA simulator's per-core
+	// buffers).
+	stats    []core.IntervalStats
+	statPtrs []*core.IntervalStats
+
+	// Counters, read by healthz concurrently with the worker.
+	tasks   atomic.Uint64
+	hits    atomic.Uint64
+	batches atomic.Uint64
+}
+
+// parseScheme resolves the wire name of a scheme.
+func parseScheme(name string) (core.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "static":
+		return core.SchemeStatic, nil
+	case "dvfs", "dvfs-only":
+		return core.SchemeDVFSOnly, nil
+	case "rm1", "partition":
+		return core.SchemePartitionOnly, nil
+	case "", "rm2", "coord":
+		return core.SchemeCoordDVFSCache, nil
+	case "rm3", "core":
+		return core.SchemeCoordCoreDVFSCache, nil
+	case "ucp", "uncoordinated":
+		return core.SchemeUCPDVFS, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (want static, dvfs, rm1, rm2, rm3 or ucp)", name)
+	}
+}
+
+// parseModel resolves the wire model number, applying the scheme default.
+func parseModel(model int, scheme core.Scheme) (core.ModelKind, error) {
+	switch model {
+	case 0:
+		if scheme == core.SchemeCoordCoreDVFSCache {
+			return core.Model3, nil
+		}
+		return core.Model2, nil
+	case 1:
+		return core.Model1, nil
+	case 2:
+		return core.Model2, nil
+	case 3:
+		return core.Model3, nil
+	default:
+		return 0, fmt.Errorf("unknown model %d (want 1, 2 or 3, or 0 for the scheme default)", model)
+	}
+}
+
+// resolveQuery validates one wire query against the database and builds
+// its canonical routing/cache key.
+func (s *Server) resolveQuery(q *DecideQuery) (*decideQuery, error) {
+	n := s.db.Sys.NumCores
+	if len(q.Apps) != n {
+		return nil, fmt.Errorf("co-phase vector needs %d apps (one per core), got %d", n, len(q.Apps))
+	}
+	scheme, err := parseScheme(q.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	model, err := parseModel(q.Model, scheme)
+	if err != nil {
+		return nil, err
+	}
+	var slack []float64
+	switch {
+	case len(q.Slacks) > 0:
+		if len(q.Slacks) != n {
+			return nil, fmt.Errorf("slacks needs %d entries, got %d", n, len(q.Slacks))
+		}
+		slack = q.Slacks
+	case q.Slack != 0:
+		slack = make([]float64, n)
+		for i := range slack {
+			slack[i] = q.Slack
+		}
+	}
+	for i, v := range slack {
+		if v < 0 {
+			return nil, fmt.Errorf("slack[%d] = %g is negative", i, v)
+		}
+	}
+
+	rq := &decideQuery{
+		slack:  slack,
+		ids:    make([]simdb.BenchID, n),
+		phases: make([]int, n),
+	}
+	var key strings.Builder
+	key.Grow(64)
+	key.WriteString(strconv.Itoa(int(scheme)))
+	key.WriteByte('/')
+	key.WriteString(strconv.Itoa(int(model)))
+	key.WriteByte('/')
+	slackKey := ""
+	if slack != nil {
+		parts := make([]string, n)
+		for i, v := range slack {
+			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		slackKey = strings.Join(parts, ",")
+	}
+	key.WriteString(slackKey)
+	for i, app := range q.Apps {
+		id, ok := s.db.BenchIDOf(app.Bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", app.Bench)
+		}
+		np := s.db.Benches[id].Analysis.NumPhases
+		if app.Phase < 0 || app.Phase >= np {
+			return nil, fmt.Errorf("%s has phases 0..%d, got %d", app.Bench, np-1, app.Phase)
+		}
+		rq.ids[i] = id
+		rq.phases[i] = app.Phase
+		key.WriteByte('|')
+		key.WriteString(strconv.Itoa(int(id)))
+		key.WriteByte(':')
+		key.WriteString(strconv.Itoa(app.Phase))
+	}
+	rq.cfg = managerKey{scheme: scheme, model: model, slackKey: slackKey}
+	rq.key = key.String()
+	return rq, nil
+}
+
+// shardOf routes a canonical key to its owning shard.
+func (s *Server) shardOf(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv cannot fail
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// FillOracleStats fills st with the perfect interval statistics of one
+// (benchmark, phase) pair executing on coreID at the baseline setting —
+// the co-phase decision point the RMA faces, built exactly as the
+// simulator's oracle gatherStats path builds it. The profile slices alias
+// the immutable database records.
+func FillOracleStats(db *simdb.DB, id simdb.BenchID, phase, coreID int, st *core.IntervalStats) {
+	rec := db.RecordAt(id, phase)
+	pt := db.PerfAt(id, phase, db.BaselineIdx())
+	*st = core.IntervalStats{
+		Core:          coreID,
+		Setting:       db.Sys.BaselineSetting(),
+		Instr:         trace.SliceInstructions,
+		Cycles:        pt.Cycles,
+		LLCAccesses:   pt.LLCAccesses,
+		BranchMisses:  rec.BranchMPKI * trace.SliceInstructions / 1000,
+		TotalMisses:   pt.Misses,
+		LeadingMisses: pt.Leading,
+		ATDMisses:     rec.Misses,
+		ATDLeading:    rec.Leading,
+		IlpIPC:        rec.IlpIPC,
+	}
+}
+
+// OracleStats is FillOracleStats returning a fresh struct (the reference
+// the service's equivalence tests drive the library path with).
+func OracleStats(db *simdb.DB, id simdb.BenchID, phase, coreID int) *core.IntervalStats {
+	st := new(core.IntervalStats)
+	FillOracleStats(db, id, phase, coreID, st)
+	return st
+}
+
+// manager returns the shard's manager for the configuration, building it
+// on first use. Managers are retained: their per-core curve buffers are
+// the shard-local reuse that keeps repeated decisions allocation-free.
+func (sh *shard) manager(q *decideQuery) *core.Manager {
+	m, ok := sh.mgrs[q.cfg]
+	if !ok {
+		db := sh.srv.db
+		m = core.NewManager(core.Config{
+			Sys:    db.Sys,
+			Power:  power.DefaultParams(db.Sys),
+			Scheme: q.cfg.scheme,
+			Model:  q.cfg.model,
+			Slack:  append([]float64(nil), q.slack...),
+		})
+		sh.mgrs[q.cfg] = m
+	}
+	return m
+}
+
+// compute runs the library decision for one query.
+func (sh *shard) compute(q *decideQuery) decideResult {
+	db := sh.srv.db
+	n := db.Sys.NumCores
+	for i := 0; i < n; i++ {
+		FillOracleStats(db, q.ids[i], q.phases[i], i, &sh.stats[i])
+		sh.statPtrs[i] = &sh.stats[i]
+	}
+	settings, ok := sh.manager(q).DecideAll(sh.statPtrs)
+	if !ok {
+		base := db.Sys.BaselineSetting()
+		settings = make([]arch.Setting, n)
+		for i := range settings {
+			settings[i] = base
+		}
+	}
+	return decideResult{decided: ok, settings: settings}
+}
+
+// process answers one task from the cache or by computing.
+func (sh *shard) process(t task) {
+	sh.tasks.Add(1)
+	if res, ok := sh.lru.get(t.q.key); ok {
+		sh.hits.Add(1)
+		*t.res = res
+	} else {
+		res := sh.compute(t.q)
+		sh.lru.add(t.q.key, res)
+		*t.res = res
+	}
+	t.wg.Done()
+}
+
+// run is the shard worker: it blocks for one task, then drains up to a
+// micro-batch from the queue before blocking again, so a loaded shard
+// amortizes channel wakeups across many decisions.
+func (sh *shard) run() {
+	for {
+		select {
+		case <-sh.srv.quit:
+			return
+		case t := <-sh.ch:
+			sh.batches.Add(1)
+			sh.process(t)
+			for drained := 1; drained < sh.srv.opt.Batch; drained++ {
+				select {
+				case t2 := <-sh.ch:
+					sh.process(t2)
+				default:
+					drained = sh.srv.opt.Batch
+				}
+			}
+		}
+	}
+}
+
+// decide answers a batch of resolved queries by fanning them out to their
+// shards and awaiting completion. The read lock pairs with Close's write
+// lock: while any decide holds it the workers cannot be stopped, so an
+// accepted task is always drained and wg.Wait cannot strand the handler;
+// after Close, requests fail fast instead of queueing into dead shards.
+func (s *Server) decide(queries []*decideQuery) ([]decideResult, error) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.closed {
+		return nil, errServerClosed
+	}
+	results := make([]decideResult, len(queries))
+	var wg sync.WaitGroup
+	wg.Add(len(queries))
+	for i, q := range queries {
+		s.shardOf(q.key).ch <- task{q: q, res: &results[i], wg: &wg}
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// settingsJSON renders per-core settings on the wire.
+func (s *Server) settingsJSON(settings []arch.Setting) []SettingJSON {
+	out := make([]SettingJSON, len(settings))
+	for i, st := range settings {
+		out[i] = SettingJSON{
+			Size:    st.Size.String(),
+			FreqIdx: st.FreqIdx,
+			FreqGHz: s.db.Sys.DVFS[st.FreqIdx].FreqGHz,
+			Ways:    st.Ways,
+		}
+	}
+	return out
+}
+
+// handleDecide is POST /v1/decide.
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req DecideRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	single := len(req.Queries) == 0
+	wire := req.Queries
+	if single {
+		wire = []DecideQuery{req.DecideQuery}
+	}
+	if len(wire) > s.opt.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds the limit of %d", len(wire), s.opt.MaxBatch))
+		return
+	}
+	queries := make([]*decideQuery, len(wire))
+	for i := range wire {
+		q, err := s.resolveQuery(&wire[i])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		queries[i] = q
+	}
+	results, err := s.decide(queries)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	var resp DecideResponse
+	answers := make([]DecideAnswer, len(results))
+	for i, res := range results {
+		answers[i] = DecideAnswer{Decided: res.decided, Settings: s.settingsJSON(res.settings)}
+	}
+	if single {
+		resp.Result = &answers[0]
+	} else {
+		resp.Results = answers
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}

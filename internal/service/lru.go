@@ -1,0 +1,53 @@
+package service
+
+import "container/list"
+
+// lruEntry is one cached decision.
+type lruEntry struct {
+	key string
+	res decideResult
+}
+
+// lru is a plain least-recently-used map of decision results. It is not
+// safe for concurrent use: every instance is owned by exactly one shard
+// worker, which is what keeps the decide hot path lock-free.
+type lru struct {
+	cap   int
+	order *list.List               // front = most recent
+	byKey map[string]*list.Element // -> *lruEntry
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached decision and marks it most recently used.
+func (l *lru) get(key string) (decideResult, bool) {
+	el, ok := l.byKey[key]
+	if !ok {
+		return decideResult{}, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// add inserts a decision, evicting the least recently used entry at
+// capacity. The caller guarantees the key is not present.
+func (l *lru) add(key string, res decideResult) {
+	if l.cap <= 0 {
+		return
+	}
+	if l.order.Len() >= l.cap {
+		back := l.order.Back()
+		delete(l.byKey, back.Value.(*lruEntry).key)
+		l.order.Remove(back)
+	}
+	l.byKey[key] = l.order.PushFront(&lruEntry{key: key, res: res})
+}
+
+// len returns the number of cached decisions.
+func (l *lru) len() int { return l.order.Len() }

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"qosrma/internal/sched"
+	"qosrma/internal/simdb"
+)
+
+// scoreState wraps the shared collocation scorer. The scorer itself is
+// safe for concurrent use and memoizes whole-program statistics and energy
+// curves; the per-call curve slice comes from a pool of sched.ScoreBuf
+// scratch buffers so concurrent score requests do not allocate per
+// machine scored.
+type scoreState struct {
+	scorer   *sched.Scorer
+	bufs     sync.Pool
+	requests atomic.Uint64
+}
+
+func newScoreState(db *simdb.DB) *scoreState {
+	return &scoreState{
+		scorer: sched.NewScorer(db),
+		bufs:   sync.Pool{New: func() any { return new(sched.ScoreBuf) }},
+	}
+}
+
+// score scores one machine's app list with pooled scratch.
+func (st *scoreState) score(apps []string) (float64, error) {
+	buf := st.bufs.Get().(*sched.ScoreBuf)
+	defer st.bufs.Put(buf)
+	return st.scorer.ScoreInto(apps, buf)
+}
+
+// ScoreRequest is the wire form of /v1/score. Exactly one of Apps or
+// Machines must be set. With Candidate set, the request is a placement:
+// the candidate is tentatively added to every machine with a free core
+// and the best machine is reported.
+type ScoreRequest struct {
+	// Apps scores a single machine.
+	Apps []string `json:"apps,omitempty"`
+	// Machines scores several machines at once.
+	Machines [][]string `json:"machines,omitempty"`
+	// Candidate, with Machines, asks where to place one arriving job.
+	Candidate string `json:"candidate,omitempty"`
+}
+
+// ScoreResponse is the wire form of a /v1/score reply.
+type ScoreResponse struct {
+	// Score is the single-machine answer.
+	Score *float64 `json:"score,omitempty"`
+	// Scores is the per-machine answer (placement: the score with the
+	// candidate added; machines without a free core carry null).
+	Scores []*float64 `json:"scores,omitempty"`
+	// Best is the placement answer: the index of the machine where the
+	// candidate scores highest (ties to the lowest index).
+	Best *int `json:"best,omitempty"`
+}
+
+// handleScore is POST /v1/score.
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	s.scorer.requests.Add(1)
+	var req ScoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	switch {
+	case len(req.Apps) > 0 && len(req.Machines) > 0:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("set either apps or machines, not both"))
+	case req.Candidate != "":
+		s.handlePlacement(w, &req)
+	case len(req.Apps) > 0:
+		v, err := s.scorer.score(req.Apps)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, &ScoreResponse{Score: &v})
+	case len(req.Machines) > 0:
+		scores := make([]*float64, len(req.Machines))
+		for i, m := range req.Machines {
+			v, err := s.scorer.score(m)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("machine %d: %w", i, err))
+				return
+			}
+			scores[i] = &v
+		}
+		writeJSON(w, http.StatusOK, &ScoreResponse{Scores: scores})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty request: set apps, machines, or candidate+machines"))
+	}
+}
+
+// handlePlacement scores the candidate on every machine with room; empty
+// machines are allowed (the candidate would run alone).
+func (s *Server) handlePlacement(w http.ResponseWriter, req *ScoreRequest) {
+	if len(req.Machines) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("placement needs machines"))
+		return
+	}
+	if _, ok := s.db.BenchIDOf(req.Candidate); !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown benchmark %q", req.Candidate))
+		return
+	}
+	n := s.db.Sys.NumCores
+	scores := make([]*float64, len(req.Machines))
+	best := -1
+	for i, m := range req.Machines {
+		if len(m) >= n {
+			continue // full machine: not a placement option
+		}
+		apps := make([]string, 0, len(m)+1)
+		apps = append(apps, m...)
+		apps = append(apps, req.Candidate)
+		v, err := s.scorer.score(apps)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("machine %d: %w", i, err))
+			return
+		}
+		scores[i] = &v
+		if best < 0 || v > *scores[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		writeError(w, http.StatusConflict, fmt.Errorf("no machine has a free core"))
+		return
+	}
+	writeJSON(w, http.StatusOK, &ScoreResponse{Scores: scores, Best: &best})
+}

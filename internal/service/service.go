@@ -1,0 +1,255 @@
+// Package service implements qosrmad's long-running HTTP/JSON decision
+// service over a compiled simulation database: per-machine RMA decisions
+// for co-phase vectors (/v1/decide), collocation scoring and online
+// placement (/v1/score), asynchronous scenario sweeps streaming CSV/JSON
+// (/v1/sweep), and liveness/metadata endpoints (/v1/healthz, /v1/meta).
+//
+// The decision path is sharded: queries hash to one of N shards by their
+// canonical co-phase key, and each shard's single worker owns its decision
+// LRU, its per-configuration managers (with their reusable curve buffers)
+// and its statistics scratch, so the hot path takes no locks and performs
+// no allocation beyond the response. Batching, sharding and caching are
+// answer-invariant: the service is bit-identical to direct library calls.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"qosrma/internal/core"
+	"qosrma/internal/simdb"
+	"qosrma/internal/sweep"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Shards is the number of decision shards (default GOMAXPROCS, capped
+	// at 16: each shard is one worker goroutine plus its caches).
+	Shards int
+	// Batch is the micro-batch size: how many queued queries one shard
+	// wakeup drains before blocking again (default 64).
+	Batch int
+	// CacheSize is the per-shard decision LRU capacity in entries
+	// (0 = default 4096, negative disables caching).
+	CacheSize int
+	// QueueDepth is the per-shard queue capacity (default 4 x Batch).
+	QueueDepth int
+	// MaxBatch bounds the queries accepted in one HTTP request
+	// (default 1024).
+	MaxBatch int
+	// MaxJobs bounds the retained sweep jobs (default 64): at the cap the
+	// oldest finished job is evicted, and submits are refused with 429
+	// while every slot is running.
+	MaxJobs int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards > 16 {
+			o.Shards = 16
+		}
+	}
+	if o.Batch <= 0 {
+		o.Batch = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Batch
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 64
+	}
+	return o
+}
+
+// Server is the decision service: an http.Handler over a compiled
+// database and a sweep engine. Construct with New, release with Close.
+type Server struct {
+	db     *simdb.DB
+	engine *sweep.Engine
+	opt    Options
+
+	mux     *http.ServeMux
+	shards  []*shard
+	quit    chan struct{}
+	started time.Time
+
+	// stateMu orders decide fan-out against Close: decides hold the read
+	// side while their tasks are in flight, Close takes the write side
+	// before stopping the workers, so no accepted task is ever stranded.
+	stateMu sync.RWMutex
+	closed  bool
+
+	scorer *scoreState
+	jobs   *jobTable
+	jobSem chan struct{} // serializes sweep-job execution
+}
+
+// errServerClosed is the fail-fast answer for requests after Close.
+var errServerClosed = errors.New("service: server is closed")
+
+// New builds a server over the database. The sweep engine carries the
+// single-flight result cache /v1/sweep jobs share; pass nil for a private
+// engine.
+func New(db *simdb.DB, engine *sweep.Engine, opt Options) *Server {
+	if engine == nil {
+		engine = sweep.NewEngine()
+	}
+	s := &Server{
+		db:      db,
+		engine:  engine,
+		opt:     opt.withDefaults(),
+		mux:     http.NewServeMux(),
+		quit:    make(chan struct{}),
+		started: time.Now(),
+		scorer:  newScoreState(db),
+	}
+	s.jobs = newJobTable(s.opt.MaxJobs)
+	s.jobSem = make(chan struct{}, 1)
+	s.shards = make([]*shard, s.opt.Shards)
+	n := db.Sys.NumCores
+	for i := range s.shards {
+		sh := &shard{
+			srv:      s,
+			ch:       make(chan task, s.opt.QueueDepth),
+			lru:      newLRU(s.opt.CacheSize),
+			mgrs:     make(map[managerKey]*core.Manager),
+			stats:    make([]core.IntervalStats, n),
+			statPtrs: make([]*core.IntervalStats, n),
+		}
+		s.shards[i] = sh
+		go sh.run()
+	}
+
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
+	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	s.mux.HandleFunc("POST /v1/score", s.handleScore)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepStatus)
+	s.mux.HandleFunc("GET /v1/sweep/{id}/result", s.handleSweepResult)
+	return s
+}
+
+// ServeHTTP dispatches to the versioned API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the shard workers. It waits for in-flight decide fan-outs
+// to drain (their tasks are always processed), and later requests answer
+// 503 instead of queueing into stopped shards. Close is idempotent.
+func (s *Server) Close() {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+	}
+}
+
+// writeJSON renders a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to report to
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError renders a JSON error with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// HealthStats is the /v1/healthz payload.
+type HealthStats struct {
+	Status    string  `json:"status"`
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Decide struct {
+		Queries     uint64 `json:"queries"`
+		CacheHits   uint64 `json:"cache_hits"`
+		Batches     uint64 `json:"batches"`
+		Shards      int    `json:"shards"`
+		CacheBounds int    `json:"cache_capacity_per_shard"`
+	} `json:"decide"`
+	Score struct {
+		Requests uint64 `json:"requests"`
+	} `json:"score"`
+	Sweep struct {
+		Jobs        int   `json:"jobs"`
+		CacheHits   int64 `json:"cache_hits"`
+		CacheMisses int64 `json:"cache_misses"`
+	} `json:"sweep"`
+}
+
+// handleHealthz is GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var h HealthStats
+	h.Status = "ok"
+	h.UptimeSec = time.Since(s.started).Seconds()
+	for _, sh := range s.shards {
+		h.Decide.Queries += sh.tasks.Load()
+		h.Decide.CacheHits += sh.hits.Load()
+		h.Decide.Batches += sh.batches.Load()
+	}
+	h.Decide.Shards = len(s.shards)
+	h.Decide.CacheBounds = s.opt.CacheSize
+	h.Score.Requests = s.scorer.requests.Load()
+	h.Sweep.Jobs = s.jobs.count()
+	h.Sweep.CacheHits, h.Sweep.CacheMisses = s.engine.Cache().Stats()
+	writeJSON(w, http.StatusOK, &h)
+}
+
+// MetaBench describes one servable benchmark.
+type MetaBench struct {
+	Name   string `json:"name"`
+	Phases int    `json:"phases"`
+}
+
+// Meta is the /v1/meta payload: everything a client (the load generator,
+// a dashboard) needs to construct valid queries.
+type Meta struct {
+	NumCores int         `json:"num_cores"`
+	LLCAssoc int         `json:"llc_assoc"`
+	DVFSGHz  []float64   `json:"dvfs_ghz"`
+	Schemes  []string    `json:"schemes"`
+	Benches  []MetaBench `json:"benches"`
+	Shards   int         `json:"shards"`
+	Batch    int         `json:"batch"`
+}
+
+// handleMeta is GET /v1/meta.
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	m := Meta{
+		NumCores: s.db.Sys.NumCores,
+		LLCAssoc: s.db.Sys.LLC.Assoc,
+		Schemes:  []string{"static", "dvfs", "rm1", "rm2", "rm3", "ucp"},
+		Shards:   len(s.shards),
+		Batch:    s.opt.Batch,
+	}
+	for _, op := range s.db.Sys.DVFS {
+		m.DVFSGHz = append(m.DVFSGHz, op.FreqGHz)
+	}
+	for _, name := range s.db.BenchNames() {
+		id, _ := s.db.BenchIDOf(name)
+		m.Benches = append(m.Benches, MetaBench{Name: name, Phases: s.db.Benches[id].Analysis.NumPhases})
+	}
+	writeJSON(w, http.StatusOK, &m)
+}

@@ -1,0 +1,91 @@
+package simdb
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"io"
+	"sync"
+	"testing"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/trace"
+)
+
+// fuzzSeedDB builds one small real database, memoized across fuzz
+// iterations (the corpus mutates its serialized bytes, not the build).
+var fuzzSeedDB = sync.OnceValues(func() ([]byte, error) {
+	sys := arch.DefaultSystemConfig(2)
+	opt := DefaultBuildOptions()
+	opt.Sample = trace.SampleParams{Accesses: 4000, WarmupAccesses: 1000}
+	db, err := Build(sys, []*trace.Benchmark{trace.ByName("bzip2")}, opt)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+})
+
+// gzipped wraps raw bytes in a gzip stream (reaching the gob layer
+// requires a valid gzip envelope and magic).
+func gzipped(raw []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(raw) //nolint:errcheck // in-memory writer cannot fail
+	zw.Close()
+	return buf.Bytes()
+}
+
+// FuzzLoad pins the serialization hardening invariant: Load must never
+// panic, whatever bytes it is fed — it either returns a database that
+// passed structural validation or an error. The seed corpus covers every
+// layer of the format (gzip envelope, magic, version, gob payload,
+// structural validation) plus a fully valid database for the fuzzer to
+// mutate; regression inputs live in testdata/fuzz/FuzzLoad.
+func FuzzLoad(f *testing.F) {
+	valid, err := fuzzSeedDB()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not gzip at all"))
+	f.Add(gzipped([]byte("WRONGMAG payload")))
+	f.Add(gzipped([]byte("QOSRMADB")))                 // magic, then EOF
+	f.Add(gzipped([]byte("QOSRMADB\x63\x00\x00\x00"))) // version 99
+	var v2garbage bytes.Buffer
+	io.WriteString(&v2garbage, "QOSRMADB")                             //nolint:errcheck
+	binary.Write(&v2garbage, binary.LittleEndian, uint32(2))           //nolint:errcheck
+	io.WriteString(&v2garbage, "this is not a gob stream either \x00") //nolint:errcheck
+	f.Add(gzipped(v2garbage.Bytes()))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-7])
+	// Flip a byte deep in the compressed payload.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)*3/4] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A database that decodes must be fully query-safe: walk the hot
+		// paths a server would take on every (bench, phase, lattice) index.
+		baseIdx := db.BaselineIdx()
+		for id := 0; id < db.NumBenches(); id++ {
+			bid := BenchID(id)
+			for _, phase := range db.PhaseTraceAt(bid) {
+				if pt := db.PerfAt(bid, phase, baseIdx); pt.Instr < 0 {
+					t.Fatalf("negative instructions at %s phase %d", db.BenchName(bid), phase)
+				}
+				rec := db.RecordAt(bid, phase)
+				_ = rec.Misses[db.Lattice.NumWays-1]
+				_ = rec.Leading[db.Lattice.NumSizes-1][db.Lattice.NumWays-1]
+			}
+		}
+	})
+}

@@ -69,7 +69,11 @@ func Load(r io.Reader) (*DB, error) {
 }
 
 // validate checks the structural invariants of a decoded database so a
-// truncated or hand-edited file fails loudly instead of panicking later.
+// truncated or hand-edited file fails loudly instead of panicking later:
+// every slice a query path indexes — phase traces, miss and leading-miss
+// profiles, compiled tables — must have exactly the geometry the system
+// configuration implies. FuzzLoad drives arbitrary bytes through Load and
+// relies on this being airtight.
 func (db *DB) validate() error {
 	if err := db.Sys.Validate(); err != nil {
 		return fmt.Errorf("simdb: corrupt database: %w", err)
@@ -78,16 +82,39 @@ func (db *DB) validate() error {
 	if db.Lattice != lat {
 		return fmt.Errorf("simdb: corrupt database: lattice %+v does not match system %+v", db.Lattice, lat)
 	}
+	profileDims := func(prof [][]float64) bool {
+		if len(prof) != lat.NumSizes {
+			return false
+		}
+		for _, row := range prof {
+			if len(row) < lat.NumWays {
+				return false
+			}
+		}
+		return true
+	}
 	for _, bd := range db.Benches {
 		if bd == nil || bd.Analysis == nil {
 			return fmt.Errorf("simdb: corrupt database: missing benchmark data")
 		}
-		if len(bd.Phases) != bd.Analysis.NumPhases || len(bd.PerfTables) != len(bd.Phases) {
+		an := bd.Analysis
+		if an.NumPhases <= 0 || len(bd.Phases) != an.NumPhases || len(bd.PerfTables) != len(bd.Phases) {
 			return fmt.Errorf("simdb: corrupt database: %s has %d phases, %d records, %d tables",
-				bd.Name, bd.Analysis.NumPhases, len(bd.Phases), len(bd.PerfTables))
+				bd.Name, an.NumPhases, len(bd.Phases), len(bd.PerfTables))
+		}
+		if len(an.PhaseTrace) == 0 {
+			return fmt.Errorf("simdb: corrupt database: %s has an empty phase trace", bd.Name)
+		}
+		for _, ph := range an.PhaseTrace {
+			if ph < 0 || ph >= an.NumPhases {
+				return fmt.Errorf("simdb: corrupt database: %s phase trace references phase %d of %d",
+					bd.Name, ph, an.NumPhases)
+			}
 		}
 		for p, rec := range bd.Phases {
-			if rec == nil || len(rec.Misses) != lat.NumWays {
+			if rec == nil ||
+				len(rec.Misses) < lat.NumWays || len(rec.SampledMisses) < lat.NumWays ||
+				!profileDims(rec.Leading) || !profileDims(rec.SampledLeading) {
 				return fmt.Errorf("simdb: corrupt database: %s phase %d record malformed", bd.Name, p)
 			}
 			if len(bd.PerfTables[p]) != lat.Len() {

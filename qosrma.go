@@ -21,7 +21,11 @@
 //     (internal/sweep), reachable through System.Sweep, and
 //   - the open-system cluster engine (internal/cluster) — fleets of
 //     machines fed by deterministic arrival traces with scored online
-//     placement — reachable through System.Cluster.
+//     placement — reachable through System.Cluster, and
+//   - the decision service (internal/service, cmd/qosrmad) — a sharded,
+//     micro-batched HTTP/JSON server answering RMA decisions, collocation
+//     scores and async sweeps bit-identically to the library calls —
+//     reachable through System.Serve / System.NewServer.
 //
 // The compiled-lattice design follows the thesis methodology (Figure 2.1)
 // to its conclusion: simulate in detail once, then answer every query by
@@ -44,6 +48,7 @@ package qosrma
 
 import (
 	"fmt"
+	"net/http"
 	"sync"
 
 	"qosrma/internal/arch"
@@ -51,6 +56,7 @@ import (
 	"qosrma/internal/power"
 	"qosrma/internal/rmasim"
 	"qosrma/internal/sched"
+	"qosrma/internal/service"
 	"qosrma/internal/simdb"
 	"qosrma/internal/sweep"
 	"qosrma/internal/trace"
@@ -259,10 +265,61 @@ func (s *System) PaperIMixes(numMixes int) ([]Mix, error) {
 	return workload.PaperIMixes(profiles, s.db.Sys.NumCores, numMixes), nil
 }
 
+// PaperIIMixes generates the Paper II category-pair workloads (pairs of
+// Paper I classes filling the machine half-and-half).
+func (s *System) PaperIIMixes() ([]Mix, error) {
+	profiles, err := s.Characterize()
+	if err != nil {
+		return nil, err
+	}
+	return workload.PaperIIMixes(profiles), nil
+}
+
 // BaselineRound returns the time and energy of one full execution round of
 // the benchmark at the static baseline allocation.
 func (s *System) BaselineRound(bench string) (seconds, joules float64, err error) {
 	return rmasim.BaselineRound(s.db, bench)
+}
+
+// Server is the long-running decision service over this system: an
+// http.Handler answering /v1/decide, /v1/score, /v1/sweep, /v1/meta and
+// /v1/healthz (see internal/service for the wire formats). Decisions are
+// sharded and micro-batched with a per-shard LRU in front, and are
+// bit-identical to the corresponding direct library calls.
+type Server = service.Server
+
+// ServeSpec configures the decision service.
+type ServeSpec struct {
+	// Addr is the listen address for Serve (e.g. ":8080").
+	Addr string
+	// Shards is the number of decision shards, each one worker goroutine
+	// owning its curve buffers, managers and LRU (default GOMAXPROCS,
+	// capped at 16).
+	Shards int
+	// Batch is the micro-batch size one shard wakeup drains (default 64).
+	Batch int
+	// CacheSize is the per-shard decision-LRU capacity (default 4096
+	// entries; negative disables caching).
+	CacheSize int
+}
+
+// NewServer builds the decision service handler over this system's
+// database and sweep engine (sweep jobs share the engine's single-flight
+// result cache with Sweep calls). Release with Server.Close.
+func (s *System) NewServer(spec ServeSpec) *Server {
+	return service.New(s.db, s.engine, service.Options{
+		Shards:    spec.Shards,
+		Batch:     spec.Batch,
+		CacheSize: spec.CacheSize,
+	})
+}
+
+// Serve runs the decision service on spec.Addr until the listener fails.
+// This is the blocking entry point cmd/qosrmad uses.
+func (s *System) Serve(spec ServeSpec) error {
+	srv := s.NewServer(spec)
+	defer srv.Close()
+	return http.ListenAndServe(spec.Addr, srv)
 }
 
 // Collocate partitions the applications onto the given number of machines

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Coverage reporting and the ratcheting CI floor.
+#
+#   scripts/cover.sh         writes cover/cover.out, cover/func.txt and one
+#                            HTML report per package, then prints the total
+#   scripts/cover.sh check   additionally fails if the total drops below
+#                            .coverage-floor (ratchet: current% - 1, raised
+#                            whenever the suite's coverage grows)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUTDIR=${OUTDIR:-cover}
+mkdir -p "$OUTDIR"
+
+go test -coverprofile="$OUTDIR/cover.out" ./...
+go tool cover -func="$OUTDIR/cover.out" >"$OUTDIR/func.txt"
+total=$(awk '/^total:/ {gsub(/%/, "", $3); print $3}' "$OUTDIR/func.txt")
+
+# Per-package HTML: split the merged profile by import path so each
+# package gets a browsable report (cover/<pkg>.html).
+mode_line=$(head -1 "$OUTDIR/cover.out")
+for pkg in $(go list ./...); do
+	name=${pkg#qosrma}
+	name=${name#/}
+	name=${name//\//_}
+	[ -z "$name" ] && name=qosrma
+	profile="$OUTDIR/$name.out"
+	{
+		echo "$mode_line"
+		grep "^$pkg/[^/]*\.go:" "$OUTDIR/cover.out" || true
+	} >"$profile"
+	if [ "$(wc -l <"$profile")" -gt 1 ]; then
+		go tool cover -html="$profile" -o "$OUTDIR/$name.html"
+	fi
+	rm -f "$profile"
+done
+
+echo "total coverage: ${total}%"
+
+if [ "${1:-}" = check ]; then
+	floor=$(cat .coverage-floor)
+	if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t + 0 < f + 0) }'; then
+		echo "coverage ${total}% is below the committed floor ${floor}%" >&2
+		echo "(raise test coverage, or lower .coverage-floor with justification)" >&2
+		exit 1
+	fi
+	echo "coverage ${total}% meets the floor ${floor}%"
+fi
