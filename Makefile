@@ -24,7 +24,7 @@ MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulateP
 MICRO_FLAGS ?= -benchtime=0.2s -count=5
 
 .PHONY: all build test test-short lint bench benchbase benchdiff pprof example-cluster \
-	loadtest determinism golden cover cover-check fuzz-smoke clean
+	loadtest determinism golden cover cover-check fuzz-smoke docs-check clean
 
 all: build lint test
 
@@ -98,6 +98,12 @@ golden:
 # explores further locally.
 fuzz-smoke:
 	$(GO) test -count=1 -run 'Fuzz' ./internal/simdb ./internal/service ./internal/cache ./internal/core
+
+# Docs consistency wall: every relative link in README.md and docs/
+# resolves, and the server's registered route table matches docs/api.md
+# in both directions (no undocumented routes, no phantom docs).
+docs-check:
+	./scripts/docscheck.sh
 
 # Coverage report: cover/cover.out + per-package HTML + cover/func.txt.
 cover:

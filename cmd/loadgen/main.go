@@ -126,6 +126,7 @@ func main() {
 	var (
 		sent     atomic.Int64 // batches completed
 		errs     atomic.Int64
+		drained  atomic.Int64 // batches refused because the server is draining
 		latMu    sync.Mutex
 		lats     []time.Duration
 		deadline = time.Now().Add(*duration)
@@ -135,6 +136,10 @@ func main() {
 		lats = append(lats, d)
 		latMu.Unlock()
 	}
+	// errDrained marks the server's drain signature (503 + Retry-After):
+	// the worker stops cleanly instead of counting failures against a
+	// server that is shutting down exactly as designed.
+	errDrained := fmt.Errorf("server draining")
 	post := func(body []byte) error {
 		resp, err := client.Post(base+"/v1/decide", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -142,6 +147,9 @@ func main() {
 		}
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for reuse
 		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "" {
+			return errDrained
+		}
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("status %d", resp.StatusCode)
 		}
@@ -159,6 +167,10 @@ func main() {
 				for i := c; time.Now().Before(deadline); i++ {
 					t0 := time.Now()
 					if err := post(bodies[i%len(bodies)]); err != nil {
+						if err == errDrained {
+							drained.Add(1)
+							return
+						}
 						errs.Add(1)
 						continue
 					}
@@ -191,7 +203,11 @@ func main() {
 				defer wg.Done()
 				defer func() { <-sem }()
 				if err := post(bodies[i%len(bodies)]); err != nil {
-					errs.Add(1)
+					if err == errDrained {
+						drained.Add(1)
+					} else {
+						errs.Add(1)
+					}
 					return
 				}
 				record(time.Since(due)) // from scheduled arrival: includes queueing
@@ -217,10 +233,10 @@ func main() {
 	qps := float64(batches) * float64(*batch) / elapsed.Seconds()
 	report := fmt.Sprintf(
 		"loadgen: mode=%s conns=%d batch=%d population=%d seed=%d duration=%.2fs\n"+
-			"queries=%d qps=%.0f batches=%d errors=%d\n"+
+			"queries=%d qps=%.0f batches=%d errors=%d drained=%d\n"+
 			"batch latency ms: p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f max=%.3f\n",
 		*mode, *conns, *batch, *population, *seed, elapsed.Seconds(),
-		batches*int64(*batch), qps, batches, errs.Load(),
+		batches*int64(*batch), qps, batches, errs.Load(), drained.Load(),
 		pct(0.50), pct(0.90), pct(0.99), pct(0.999), pct(1.0))
 	fmt.Print(report)
 	if *out != "" {

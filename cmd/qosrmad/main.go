@@ -1,29 +1,48 @@
 // Command qosrmad is the long-running QoS-RMA decision service: it builds
 // (or loads) a compiled simulation database once at startup and then
 // serves resource-management decisions, collocation scores and scenario
-// sweeps over HTTP/JSON.
+// sweeps over HTTP/JSON, with a live-ops control plane for production
+// runs (Prometheus metrics, hot reload, graceful drain, self-audit).
 //
-// Endpoints (see internal/service):
+// Endpoints (full reference in docs/api.md):
 //
 //	POST /v1/decide           per-machine RMA settings for co-phase vectors
 //	POST /v1/score            collocation scoring / online placement
 //	POST /v1/sweep            submit an async scenario sweep
 //	GET  /v1/sweep/{id}       sweep job status
 //	GET  /v1/sweep/{id}/result?format=csv|json
-//	GET  /v1/meta             servable benchmarks, phases, schemes
-//	GET  /v1/healthz          liveness + shard/cache statistics
+//	GET  /v1/meta             servable benchmarks, phases, schemes, version
+//	GET  /v1/healthz          liveness (degrades on failed self-audit)
+//	GET  /metrics             Prometheus text exposition
+//	GET  /admin/status        operator status page
+//	POST /admin/reload        hot-swap the database (SIGHUP does the same)
+//	POST /admin/check         run a self-audit now
+//
+// Signals:
+//
+//	SIGHUP             reload the database (from -db, or a rebuild) and
+//	                   swap it in atomically; in-flight requests finish on
+//	                   the old snapshot
+//	SIGTERM / SIGINT   graceful drain: stop accepting, finish in-flight
+//	                   work and running sweep jobs, exit (bounded by
+//	                   -drain-timeout)
 //
 // Usage:
 //
 //	qosrmad -addr :7743 -cores 4
-//	qosrmad -addr :7743 -db db.gob.gz
+//	qosrmad -addr :7743 -db db.gob.gz -audit-interval 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"qosrma"
@@ -31,12 +50,15 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7743", "listen address")
-		cores  = flag.Int("cores", 4, "cores per machine (when building the database)")
-		dbPath = flag.String("db", "", "load a compiled database instead of building one")
-		shards = flag.Int("shards", 0, "decision shards (0 = GOMAXPROCS, capped at 16)")
-		batch  = flag.Int("batch", 0, "shard micro-batch size (0 = default 64)")
-		cache  = flag.Int("cache", 0, "per-shard decision-LRU entries (0 = default 4096, negative disables)")
+		addr         = flag.String("addr", "127.0.0.1:7743", "listen address")
+		cores        = flag.Int("cores", 4, "cores per machine (when building the database)")
+		dbPath       = flag.String("db", "", "load a compiled database instead of building one (also the SIGHUP reload source)")
+		shards       = flag.Int("shards", 0, "decision shards (0 = GOMAXPROCS, capped at 16)")
+		batch        = flag.Int("batch", 0, "shard micro-batch size (0 = default 64)")
+		cache        = flag.Int("cache", 0, "per-shard decision-LRU entries (0 = default 4096, negative disables)")
+		auditEvery   = flag.Duration("audit-interval", time.Minute, "self-checker period (0 disables periodic audits)")
+		auditSamples = flag.Int("audit-samples", 0, "cached decisions re-verified per audit (0 = default 16)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
@@ -54,12 +76,61 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qosrmad: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("qosrmad: database ready in %.2fs (%d cores, %d benchmarks); listening on %s",
-		time.Since(start).Seconds(), sys.Config().NumCores, sys.DB().NumBenches(), *addr)
-	if err := sys.Serve(qosrma.ServeSpec{
-		Addr: *addr, Shards: *shards, Batch: *batch, CacheSize: *cache,
-	}); err != nil {
-		fmt.Fprintf(os.Stderr, "qosrmad: %v\n", err)
-		os.Exit(1)
+
+	srv := sys.NewServer(qosrma.ServeSpec{
+		Shards:        *shards,
+		Batch:         *batch,
+		CacheSize:     *cache,
+		ReloadPath:    *dbPath,
+		AuditInterval: *auditEvery,
+		AuditSamples:  *auditSamples,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	hash, _, _, _ := srv.Snapshot()
+	log.Printf("qosrmad: database ready in %.2fs (%d cores, %d benchmarks, hash %s); listening on %s",
+		time.Since(start).Seconds(), sys.Config().NumCores, sys.DB().NumBenches(), hash, *addr)
+
+	// SIGHUP → hot reload; SIGTERM/SIGINT → graceful drain. The signal
+	// loop owns process lifetime; the serve goroutine just reports.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	for {
+		select {
+		case err := <-serveErr:
+			if !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "qosrmad: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case sig := <-sigs:
+			switch sig {
+			case syscall.SIGHUP:
+				t := time.Now()
+				hash, gen, err := srv.Reload()
+				if err != nil {
+					log.Printf("qosrmad: reload failed: %v (still serving the previous database)", err)
+					continue
+				}
+				log.Printf("qosrmad: reloaded in %.2fs (generation %d, hash %s)", time.Since(t).Seconds(), gen, hash)
+			default:
+				log.Printf("qosrmad: %v: draining (deadline %s)", sig, *drainTimeout)
+				ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+				// Stop accepting connections first, then drain the
+				// service's own queues and jobs.
+				httpErr := httpSrv.Shutdown(ctx)
+				svcErr := srv.Shutdown(ctx)
+				cancel()
+				if httpErr != nil || svcErr != nil {
+					log.Printf("qosrmad: drain incomplete at deadline (http: %v, service: %v)", httpErr, svcErr)
+					os.Exit(1)
+				}
+				log.Printf("qosrmad: drained cleanly")
+				return
+			}
+		}
 	}
 }

@@ -1,0 +1,124 @@
+package ops
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AuditReport is the outcome of one self-check audit.
+type AuditReport struct {
+	// Time is when the audit finished.
+	Time time.Time `json:"time"`
+	// Sampled is how many cached decisions were re-derived and compared.
+	Sampled int `json:"sampled"`
+	// Mismatches counts sampled decisions that differed from the fresh
+	// library computation — any nonzero value is a serving-correctness
+	// failure and degrades health.
+	Mismatches int `json:"mismatches"`
+	// Error is a non-comparison failure (e.g. the audit could not run).
+	Error string `json:"error,omitempty"`
+}
+
+// Pass reports whether the audit found the serving state healthy.
+func (r AuditReport) Pass() bool { return r.Error == "" && r.Mismatches == 0 }
+
+// AuditFunc performs one spot audit over at most samples cached entries.
+type AuditFunc func(samples int) AuditReport
+
+// Checker periodically runs an audit function and retains the latest
+// report. It is the service's bit-identity watchdog: the audit re-derives
+// cached decisions from first principles and any divergence flips the
+// health endpoint to degraded until a later audit passes.
+type Checker struct {
+	fn       AuditFunc
+	samples  int
+	interval time.Duration
+
+	last atomic.Pointer[AuditReport]
+
+	mu      sync.Mutex
+	quit    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewChecker builds a checker over fn auditing up to samples entries per
+// round every interval. An interval of zero or less disables the periodic
+// goroutine — RunNow still works, which is how tests and the /admin/check
+// endpoint force an audit on demand.
+func NewChecker(fn AuditFunc, interval time.Duration, samples int) *Checker {
+	if samples <= 0 {
+		samples = 16
+	}
+	return &Checker{fn: fn, samples: samples, interval: interval}
+}
+
+// Start launches the periodic audit goroutine (no-op when the interval is
+// unset or the checker already runs).
+func (c *Checker) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started || c.interval <= 0 {
+		return
+	}
+	c.started = true
+	c.quit = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.run(c.quit, c.done)
+}
+
+// run is the periodic loop.
+func (c *Checker) run(quit, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-t.C:
+			c.RunNow(0)
+		}
+	}
+}
+
+// Stop halts the periodic goroutine and waits for any in-flight audit to
+// finish. Idempotent; RunNow remains usable afterwards.
+func (c *Checker) Stop() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = false
+	quit, done := c.quit, c.done
+	c.mu.Unlock()
+	close(quit)
+	<-done
+}
+
+// RunNow performs one audit synchronously, stores it as the latest report
+// and returns it. samples overrides the configured per-round sample count;
+// zero or less keeps it.
+func (c *Checker) RunNow(samples int) AuditReport {
+	if samples <= 0 {
+		samples = c.samples
+	}
+	r := c.fn(samples)
+	if r.Time.IsZero() {
+		r.Time = time.Now()
+	}
+	c.last.Store(&r)
+	return r
+}
+
+// Last returns the most recent report, or ok=false when no audit has run
+// yet.
+func (c *Checker) Last() (AuditReport, bool) {
+	p := c.last.Load()
+	if p == nil {
+		return AuditReport{}, false
+	}
+	return *p, true
+}

@@ -1,0 +1,154 @@
+// Operator API: /admin/status (one page of everything an operator needs),
+// /admin/reload (explicit hot-swap, same mechanism SIGHUP triggers) and
+// /admin/check (on-demand self-audit). These routes mutate or inspect the
+// process, not the model — keep them off any untrusted network, or front
+// them with an authenticating proxy (see docs/operations.md).
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"qosrma/internal/ops"
+	"qosrma/internal/simdb"
+)
+
+// AdminShard is one shard's counters in the status payload.
+type AdminShard struct {
+	Tasks     uint64 `json:"tasks"`
+	CacheHits uint64 `json:"cache_hits"`
+	Batches   uint64 `json:"batches"`
+}
+
+// AdminSnapshot describes the serving database version.
+type AdminSnapshot struct {
+	Hash       string    `json:"hash"`
+	Generation uint64    `json:"generation"`
+	Source     string    `json:"source"`
+	Loaded     time.Time `json:"loaded"`
+}
+
+// AdminStatus is the GET /admin/status payload.
+type AdminStatus struct {
+	Snapshot AdminSnapshot `json:"snapshot"`
+	Reloads  uint64        `json:"reloads"`
+	Draining bool          `json:"draining"`
+	Shards   []AdminShard  `json:"shards"`
+	// Checker is the latest self-audit (absent before the first).
+	Checker   *ops.AuditReport `json:"checker,omitempty"`
+	SweepJobs struct {
+		Running int `json:"running"`
+		Done    int `json:"done"`
+		Failed  int `json:"failed"`
+	} `json:"sweep_jobs"`
+	Routes []string `json:"routes"`
+}
+
+// handleAdminStatus is GET /admin/status.
+func (s *Server) handleAdminStatus(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	st := AdminStatus{
+		Snapshot: AdminSnapshot{
+			Hash:       sn.hash,
+			Generation: sn.gen,
+			Source:     sn.source,
+			Loaded:     sn.loaded,
+		},
+		Reloads:  s.metrics.reloads.Value(),
+		Draining: s.draining.Load(),
+		Routes:   s.Routes(),
+	}
+	for _, sh := range s.shards {
+		st.Shards = append(st.Shards, AdminShard{
+			Tasks:     sh.tasks.Load(),
+			CacheHits: sh.hits.Load(),
+			Batches:   sh.batches.Load(),
+		})
+	}
+	if rep, ok := s.checker.Last(); ok {
+		st.Checker = &rep
+	}
+	st.SweepJobs.Running, st.SweepJobs.Done, st.SweepJobs.Failed = s.jobs.stateCounts()
+	writeJSON(w, http.StatusOK, &st)
+}
+
+// ReloadRequest is the optional POST /admin/reload body. With Path set,
+// the database is read from that file; with an empty body the configured
+// reloader (Options.Reloader — what SIGHUP uses) runs instead.
+type ReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResponse reports the swapped-in version.
+type ReloadResponse struct {
+	Hash       string `json:"hash"`
+	Generation uint64 `json:"generation"`
+	Source     string `json:"source"`
+}
+
+// handleAdminReload is POST /admin/reload.
+func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeUnavailable(w, errDraining)
+		return
+	}
+	var req ReloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	var (
+		hash   string
+		gen    uint64
+		source string
+	)
+	if req.Path != "" {
+		db, err := simdb.LoadFile(req.Path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("load %s: %w", req.Path, err))
+			return
+		}
+		source = req.Path
+		hash, gen = s.Swap(db, source)
+	} else {
+		var err error
+		hash, gen, err = s.Reload()
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, errNoReloader) {
+				code = http.StatusBadRequest
+			}
+			writeError(w, code, err)
+			return
+		}
+		_, _, source, _ = s.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, &ReloadResponse{Hash: hash, Generation: gen, Source: source})
+}
+
+// handleAdminCheck is POST /admin/check[?samples=N]: run a self-audit now
+// and return its report — 200 when it passes, 503 when it found
+// mismatches or failed to run (matching the healthz degradation it
+// causes).
+func (s *Server) handleAdminCheck(w http.ResponseWriter, r *http.Request) {
+	samples := 0
+	if v := r.URL.Query().Get("samples"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("samples must be a positive integer, got %q", v))
+			return
+		}
+		samples = n
+	}
+	rep := s.checker.RunNow(samples)
+	code := http.StatusOK
+	if !rep.Pass() {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, &rep)
+}

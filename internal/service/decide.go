@@ -1,16 +1,25 @@
 // Decision path of the service: /v1/decide requests are parsed and
-// validated on the handler goroutine, then routed — one task per query —
-// to a shard picked by hashing the query's canonical co-phase key. Each
-// shard runs one worker goroutine that drains its queue in micro-batches
-// and owns everything the hot path touches: the decision LRU, the
-// per-configuration managers with their reusable curve buffers, and the
-// per-core IntervalStats scratch. Nothing on the compute path locks or
-// allocates beyond the response itself, and because every query's curves
-// are rebuilt from its own statistics (core.Manager.DecideAll), answers
-// are bit-identical to direct library calls regardless of shard count,
-// batch size, cache state or arrival order — the service's central
-// invariant, pinned by TestDecideMatchesLibrary and
-// TestConcurrentDecideDeterministic.
+// validated on the handler goroutine against the current snapshot, then
+// routed — one task per query — to a shard picked by hashing the query's
+// canonical co-phase key. Each shard runs one worker goroutine that
+// drains its queue in micro-batches and owns everything the hot path
+// touches: the decision LRU, the per-configuration managers with their
+// reusable curve buffers, and the per-core IntervalStats scratch. Nothing
+// on the compute path locks or allocates beyond the response itself, and
+// because every query's curves are rebuilt from its own statistics
+// (core.Manager.DecideAll), answers are bit-identical to direct library
+// calls regardless of shard count, batch size, cache state or arrival
+// order — the service's central invariant, pinned by
+// TestDecideMatchesLibrary and TestConcurrentDecideDeterministic, and
+// continuously re-verified in production by the self-checker (audit.go).
+//
+// Hot-swap discipline: a task carries the snapshot its request resolved
+// against. The worker adopts a newer snapshot the first time it sees one
+// (dropping its LRU and manager pool, which were derived from the old
+// database); a task older than the shard's snapshot — a request that
+// resolved just before a swap landed — is answered correctly against its
+// own snapshot, bypassing the cache, so mixed-generation traffic never
+// mixes cached state.
 package service
 
 import (
@@ -22,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qosrma/internal/arch"
 	"qosrma/internal/core"
@@ -90,6 +100,20 @@ type decideResult struct {
 	settings []arch.Setting // always numCores long
 }
 
+// equal reports bitwise equality — what the self-checker demands between
+// a cached decision and a fresh library computation.
+func (a decideResult) equal(b decideResult) bool {
+	if a.decided != b.decided || len(a.settings) != len(b.settings) {
+		return false
+	}
+	for i := range a.settings {
+		if a.settings[i] != b.settings[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // decideQuery is a validated, resolved query: benchmarks interned, the
 // manager configuration canonicalized, and the routing/cache key built.
 type decideQuery struct {
@@ -109,17 +133,24 @@ type managerKey struct {
 	slackKey string
 }
 
-// task is one query in flight through a shard.
+// task is one unit of work in flight through a shard: a decide query
+// (q/res/wg set) or a self-audit request (audit set).
 type task struct {
-	q   *decideQuery
-	res *decideResult
-	wg  *sync.WaitGroup
+	q     *decideQuery
+	sn    *snapshot
+	res   *decideResult
+	wg    *sync.WaitGroup
+	audit *auditTask
 }
 
 // shard owns a partition of the decision key space.
 type shard struct {
-	srv  *Server
-	ch   chan task
+	srv *Server
+	ch  chan task
+
+	// sn is the snapshot the shard-local state below was derived from;
+	// only the worker touches it after construction.
+	sn   *snapshot
 	lru  *lru
 	mgrs map[managerKey]*core.Manager
 
@@ -130,10 +161,22 @@ type shard struct {
 	stats    []core.IntervalStats
 	statPtrs []*core.IntervalStats
 
-	// Counters, read by healthz concurrently with the worker.
+	// Counters, read by healthz and /metrics concurrently with the worker.
 	tasks   atomic.Uint64
 	hits    atomic.Uint64
 	batches atomic.Uint64
+}
+
+// adopt rebuilds the shard-local derived state for a snapshot: a fresh
+// LRU and manager pool (both encode database content) and statistics
+// scratch sized to the system.
+func (sh *shard) adopt(sn *snapshot) {
+	n := sn.db.Sys.NumCores
+	sh.sn = sn
+	sh.lru = newLRU(sh.srv.opt.CacheSize)
+	sh.mgrs = make(map[managerKey]*core.Manager, 8)
+	sh.stats = make([]core.IntervalStats, n)
+	sh.statPtrs = make([]*core.IntervalStats, n)
 }
 
 // parseScheme resolves the wire name of a scheme.
@@ -175,10 +218,11 @@ func parseModel(model int, scheme core.Scheme) (core.ModelKind, error) {
 	}
 }
 
-// resolveQuery validates one wire query against the database and builds
-// its canonical routing/cache key.
-func (s *Server) resolveQuery(q *DecideQuery) (*decideQuery, error) {
-	n := s.db.Sys.NumCores
+// resolveQuery validates one wire query against the snapshot's database
+// and builds its canonical routing/cache key.
+func resolveQuery(sn *snapshot, q *DecideQuery) (*decideQuery, error) {
+	db := sn.db
+	n := db.Sys.NumCores
 	if len(q.Apps) != n {
 		return nil, fmt.Errorf("co-phase vector needs %d apps (one per core), got %d", n, len(q.Apps))
 	}
@@ -230,11 +274,11 @@ func (s *Server) resolveQuery(q *DecideQuery) (*decideQuery, error) {
 	}
 	key.WriteString(slackKey)
 	for i, app := range q.Apps {
-		id, ok := s.db.BenchIDOf(app.Bench)
+		id, ok := db.BenchIDOf(app.Bench)
 		if !ok {
 			return nil, fmt.Errorf("unknown benchmark %q", app.Bench)
 		}
-		np := s.db.Benches[id].Analysis.NumPhases
+		np := db.Benches[id].Analysis.NumPhases
 		if app.Phase < 0 || app.Phase >= np {
 			return nil, fmt.Errorf("%s has phases 0..%d, got %d", app.Bench, np-1, app.Phase)
 		}
@@ -288,28 +332,35 @@ func OracleStats(db *simdb.DB, id simdb.BenchID, phase, coreID int) *core.Interv
 	return st
 }
 
+// newManager builds a library manager for one configuration over a
+// snapshot's database.
+func newManager(sn *snapshot, q *decideQuery) *core.Manager {
+	db := sn.db
+	return core.NewManager(core.Config{
+		Sys:    db.Sys,
+		Power:  power.DefaultParams(db.Sys),
+		Scheme: q.cfg.scheme,
+		Model:  q.cfg.model,
+		Slack:  append([]float64(nil), q.slack...),
+	})
+}
+
 // manager returns the shard's manager for the configuration, building it
 // on first use. Managers are retained: their per-core curve buffers are
 // the shard-local reuse that keeps repeated decisions allocation-free.
 func (sh *shard) manager(q *decideQuery) *core.Manager {
 	m, ok := sh.mgrs[q.cfg]
 	if !ok {
-		db := sh.srv.db
-		m = core.NewManager(core.Config{
-			Sys:    db.Sys,
-			Power:  power.DefaultParams(db.Sys),
-			Scheme: q.cfg.scheme,
-			Model:  q.cfg.model,
-			Slack:  append([]float64(nil), q.slack...),
-		})
+		m = newManager(sh.sn, q)
 		sh.mgrs[q.cfg] = m
 	}
 	return m
 }
 
-// compute runs the library decision for one query.
+// compute runs the library decision for one query against the shard's
+// adopted snapshot, using the shard's reusable scratch.
 func (sh *shard) compute(q *decideQuery) decideResult {
-	db := sh.srv.db
+	db := sh.sn.db
 	n := db.Sys.NumCores
 	for i := 0; i < n; i++ {
 		FillOracleStats(db, q.ids[i], q.phases[i], i, &sh.stats[i])
@@ -317,24 +368,69 @@ func (sh *shard) compute(q *decideQuery) decideResult {
 	}
 	settings, ok := sh.manager(q).DecideAll(sh.statPtrs)
 	if !ok {
-		base := db.Sys.BaselineSetting()
-		settings = make([]arch.Setting, n)
-		for i := range settings {
-			settings[i] = base
-		}
+		settings = baselineSettings(db)
 	}
 	return decideResult{decided: ok, settings: settings}
 }
 
-// process answers one task from the cache or by computing.
+// computeFresh runs the library decision for one query with nothing
+// pooled: a fresh manager and fresh statistics, all derived from the
+// given snapshot. This is the slow, trusted path — it answers
+// stale-generation tasks after a hot-swap and recomputes the reference
+// answers the self-checker compares cached decisions against.
+func computeFresh(sn *snapshot, q *decideQuery) decideResult {
+	db := sn.db
+	n := db.Sys.NumCores
+	stats := make([]core.IntervalStats, n)
+	ptrs := make([]*core.IntervalStats, n)
+	for i := 0; i < n; i++ {
+		FillOracleStats(db, q.ids[i], q.phases[i], i, &stats[i])
+		ptrs[i] = &stats[i]
+	}
+	settings, ok := newManager(sn, q).DecideAll(ptrs)
+	if !ok {
+		settings = baselineSettings(db)
+	}
+	return decideResult{decided: ok, settings: settings}
+}
+
+// baselineSettings is the all-cores-at-baseline allocation vector.
+func baselineSettings(db *simdb.DB) []arch.Setting {
+	base := db.Sys.BaselineSetting()
+	settings := make([]arch.Setting, db.Sys.NumCores)
+	for i := range settings {
+		settings[i] = base
+	}
+	return settings
+}
+
+// process answers one task: dispatching audits, adopting newer snapshots,
+// and serving decide queries from the cache or by computing.
 func (sh *shard) process(t task) {
+	if t.audit != nil {
+		sh.runAudit(t.audit)
+		return
+	}
 	sh.tasks.Add(1)
+	if t.sn != sh.sn {
+		if t.sn.gen > sh.sn.gen {
+			sh.adopt(t.sn)
+		} else {
+			// The request resolved against a snapshot that was swapped out
+			// while it queued. Its answer must still come from that snapshot
+			// (no torn responses), so compute fresh and leave the cache —
+			// which now encodes the newer database — untouched.
+			*t.res = computeFresh(t.sn, t.q)
+			t.wg.Done()
+			return
+		}
+	}
 	if res, ok := sh.lru.get(t.q.key); ok {
 		sh.hits.Add(1)
 		*t.res = res
 	} else {
 		res := sh.compute(t.q)
-		sh.lru.add(t.q.key, res)
+		sh.lru.add(t.q.key, t.q, res)
 		*t.res = res
 	}
 	t.wg.Done()
@@ -368,30 +464,37 @@ func (sh *shard) run() {
 // lock: while any decide holds it the workers cannot be stopped, so an
 // accepted task is always drained and wg.Wait cannot strand the handler;
 // after Close, requests fail fast instead of queueing into dead shards.
-func (s *Server) decide(queries []*decideQuery) ([]decideResult, error) {
+func (s *Server) decide(sn *snapshot, queries []*decideQuery) ([]decideResult, error) {
+	start := time.Now()
 	s.stateMu.RLock()
 	defer s.stateMu.RUnlock()
 	if s.closed {
 		return nil, errServerClosed
 	}
+	if s.draining.Load() {
+		return nil, errDraining
+	}
 	results := make([]decideResult, len(queries))
 	var wg sync.WaitGroup
 	wg.Add(len(queries))
 	for i, q := range queries {
-		s.shardOf(q.key).ch <- task{q: q, res: &results[i], wg: &wg}
+		s.shardOf(q.key).ch <- task{q: q, sn: sn, res: &results[i], wg: &wg}
 	}
 	wg.Wait()
+	s.metrics.decideSeconds.Observe(time.Since(start).Seconds())
+	s.metrics.decideBatch.Observe(float64(len(queries)))
 	return results, nil
 }
 
-// settingsJSON renders per-core settings on the wire.
-func (s *Server) settingsJSON(settings []arch.Setting) []SettingJSON {
+// settingsJSON renders per-core settings on the wire, resolving frequency
+// indices against the snapshot the decision was made on.
+func (sn *snapshot) settingsJSON(settings []arch.Setting) []SettingJSON {
 	out := make([]SettingJSON, len(settings))
 	for i, st := range settings {
 		out[i] = SettingJSON{
 			Size:    st.Size.String(),
 			FreqIdx: st.FreqIdx,
-			FreqGHz: s.db.Sys.DVFS[st.FreqIdx].FreqGHz,
+			FreqGHz: sn.db.Sys.DVFS[st.FreqIdx].FreqGHz,
 			Ways:    st.Ways,
 		}
 	}
@@ -400,6 +503,7 @@ func (s *Server) settingsJSON(settings []arch.Setting) []SettingJSON {
 
 // handleDecide is POST /v1/decide.
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
 	var req DecideRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
@@ -417,22 +521,22 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	queries := make([]*decideQuery, len(wire))
 	for i := range wire {
-		q, err := s.resolveQuery(&wire[i])
+		q, err := resolveQuery(sn, &wire[i])
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
 			return
 		}
 		queries[i] = q
 	}
-	results, err := s.decide(queries)
+	results, err := s.decide(sn, queries)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeUnavailable(w, err)
 		return
 	}
 	var resp DecideResponse
 	answers := make([]DecideAnswer, len(results))
 	for i, res := range results {
-		answers[i] = DecideAnswer{Decided: res.decided, Settings: s.settingsJSON(res.settings)}
+		answers[i] = DecideAnswer{Decided: res.decided, Settings: sn.settingsJSON(res.settings)}
 	}
 	if single {
 		resp.Result = &answers[0]

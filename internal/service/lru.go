@@ -2,9 +2,12 @@ package service
 
 import "container/list"
 
-// lruEntry is one cached decision.
+// lruEntry is one cached decision. The resolved query is retained
+// alongside the result so the self-checker can recompute a cached answer
+// from scratch and compare.
 type lruEntry struct {
 	key string
+	q   *decideQuery
 	res decideResult
 }
 
@@ -37,7 +40,7 @@ func (l *lru) get(key string) (decideResult, bool) {
 
 // add inserts a decision, evicting the least recently used entry at
 // capacity. The caller guarantees the key is not present.
-func (l *lru) add(key string, res decideResult) {
+func (l *lru) add(key string, q *decideQuery, res decideResult) {
 	if l.cap <= 0 {
 		return
 	}
@@ -46,7 +49,18 @@ func (l *lru) add(key string, res decideResult) {
 		delete(l.byKey, back.Value.(*lruEntry).key)
 		l.order.Remove(back)
 	}
-	l.byKey[key] = l.order.PushFront(&lruEntry{key: key, res: res})
+	l.byKey[key] = l.order.PushFront(&lruEntry{key: key, q: q, res: res})
+}
+
+// each visits cached entries in Go's randomized map order — which is what
+// gives the self-checker a free uniform-ish sample — stopping when fn
+// returns false. Only the owning shard worker may call it.
+func (l *lru) each(fn func(*lruEntry) bool) {
+	for _, el := range l.byKey {
+		if !fn(el.Value.(*lruEntry)) {
+			return
+		}
+	}
 }
 
 // len returns the number of cached decisions.

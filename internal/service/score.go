@@ -5,21 +5,20 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
-	"sync/atomic"
 
 	"qosrma/internal/sched"
 	"qosrma/internal/simdb"
 )
 
-// scoreState wraps the shared collocation scorer. The scorer itself is
-// safe for concurrent use and memoizes whole-program statistics and energy
-// curves; the per-call curve slice comes from a pool of sched.ScoreBuf
-// scratch buffers so concurrent score requests do not allocate per
-// machine scored.
+// scoreState wraps the collocation scorer memoized against one snapshot's
+// database (it lives inside the snapshot and is swapped with it). The
+// scorer itself is safe for concurrent use and memoizes whole-program
+// statistics and energy curves; the per-call curve slice comes from a
+// pool of sched.ScoreBuf scratch buffers so concurrent score requests do
+// not allocate per machine scored.
 type scoreState struct {
-	scorer   *sched.Scorer
-	bufs     sync.Pool
-	requests atomic.Uint64
+	scorer *sched.Scorer
+	bufs   sync.Pool
 }
 
 func newScoreState(db *simdb.DB) *scoreState {
@@ -63,7 +62,12 @@ type ScoreResponse struct {
 
 // handleScore is POST /v1/score.
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	s.scorer.requests.Add(1)
+	if s.draining.Load() {
+		writeUnavailable(w, errDraining)
+		return
+	}
+	s.metrics.scoreRequests.Inc()
+	sn := s.snap.Load()
 	var req ScoreRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
@@ -73,9 +77,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	case len(req.Apps) > 0 && len(req.Machines) > 0:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("set either apps or machines, not both"))
 	case req.Candidate != "":
-		s.handlePlacement(w, &req)
+		s.handlePlacement(w, sn, &req)
 	case len(req.Apps) > 0:
-		v, err := s.scorer.score(req.Apps)
+		v, err := sn.scorer.score(req.Apps)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -84,7 +88,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	case len(req.Machines) > 0:
 		scores := make([]*float64, len(req.Machines))
 		for i, m := range req.Machines {
-			v, err := s.scorer.score(m)
+			v, err := sn.scorer.score(m)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("machine %d: %w", i, err))
 				return
@@ -99,16 +103,16 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 
 // handlePlacement scores the candidate on every machine with room; empty
 // machines are allowed (the candidate would run alone).
-func (s *Server) handlePlacement(w http.ResponseWriter, req *ScoreRequest) {
+func (s *Server) handlePlacement(w http.ResponseWriter, sn *snapshot, req *ScoreRequest) {
 	if len(req.Machines) == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("placement needs machines"))
 		return
 	}
-	if _, ok := s.db.BenchIDOf(req.Candidate); !ok {
+	if _, ok := sn.db.BenchIDOf(req.Candidate); !ok {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown benchmark %q", req.Candidate))
 		return
 	}
-	n := s.db.Sys.NumCores
+	n := sn.db.Sys.NumCores
 	scores := make([]*float64, len(req.Machines))
 	best := -1
 	for i, m := range req.Machines {
@@ -118,7 +122,7 @@ func (s *Server) handlePlacement(w http.ResponseWriter, req *ScoreRequest) {
 		apps := make([]string, 0, len(m)+1)
 		apps = append(apps, m...)
 		apps = append(apps, req.Candidate)
-		v, err := s.scorer.score(apps)
+		v, err := sn.scorer.score(apps)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("machine %d: %w", i, err))
 			return

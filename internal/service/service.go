@@ -2,25 +2,38 @@
 // service over a compiled simulation database: per-machine RMA decisions
 // for co-phase vectors (/v1/decide), collocation scoring and online
 // placement (/v1/score), asynchronous scenario sweeps streaming CSV/JSON
-// (/v1/sweep), and liveness/metadata endpoints (/v1/healthz, /v1/meta).
+// (/v1/sweep), liveness/metadata endpoints (/v1/healthz, /v1/meta), and a
+// live-ops control plane — Prometheus-text metrics (/metrics), atomic
+// database hot-swap (/admin/reload, Server.Swap), a periodic self-checker
+// that spot-audits cached decisions against fresh library computations
+// (/admin/check), and an operator status API (/admin/status).
 //
 // The decision path is sharded: queries hash to one of N shards by their
 // canonical co-phase key, and each shard's single worker owns its decision
 // LRU, its per-configuration managers (with their reusable curve buffers)
 // and its statistics scratch, so the hot path takes no locks and performs
 // no allocation beyond the response. Batching, sharding and caching are
-// answer-invariant: the service is bit-identical to direct library calls.
+// answer-invariant: the service is bit-identical to direct library calls,
+// and the self-checker continuously re-verifies that invariant in
+// production, degrading /v1/healthz to 503 when an audit fails.
+//
+// The serving state (database + scorer + version) lives behind one atomic
+// snapshot pointer (see snapshot.go): reloads swap it without dropping
+// in-flight requests, and Server.Shutdown drains queued decisions and
+// running sweep jobs before stopping, so a rolling restart loses nothing.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"qosrma/internal/core"
+	"qosrma/internal/ops"
 	"qosrma/internal/simdb"
 	"qosrma/internal/sweep"
 )
@@ -45,6 +58,21 @@ type Options struct {
 	// oldest finished job is evicted, and submits are refused with 429
 	// while every slot is running.
 	MaxJobs int
+
+	// Source labels the initial database in /admin/status and /v1/meta
+	// (default "built").
+	Source string
+	// Reloader produces a fresh database for SIGHUP and bodyless
+	// POST /admin/reload requests, returning the database and a source
+	// label. Nil disables source-less reloads (explicit {"path": ...}
+	// reloads keep working).
+	Reloader func() (*simdb.DB, string, error)
+	// AuditInterval is the self-checker period; zero or negative disables
+	// the periodic goroutine (POST /admin/check still audits on demand).
+	AuditInterval time.Duration
+	// AuditSamples bounds the cached decisions re-verified per audit
+	// (default 16, spread across shards).
+	AuditSamples int
 }
 
 // withDefaults fills unset options.
@@ -70,20 +98,31 @@ func (o Options) withDefaults() Options {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 64
 	}
+	if o.Source == "" {
+		o.Source = "built"
+	}
 	return o
 }
 
 // Server is the decision service: an http.Handler over a compiled
-// database and a sweep engine. Construct with New, release with Close.
+// database and a sweep engine. Construct with New; stop with Shutdown
+// (graceful drain) or Close (immediate).
 type Server struct {
-	db     *simdb.DB
 	engine *sweep.Engine
 	opt    Options
 
+	// snap is the current serving state; gen feeds snapshot generations.
+	snap atomic.Pointer[snapshot]
+	gen  atomic.Uint64
+
 	mux     *http.ServeMux
+	routes  []string
 	shards  []*shard
 	quit    chan struct{}
 	started time.Time
+
+	metrics serverMetrics
+	checker *ops.Checker
 
 	// stateMu orders decide fan-out against Close: decides hold the read
 	// side while their tasks are in flight, Close takes the write side
@@ -91,13 +130,22 @@ type Server struct {
 	stateMu sync.RWMutex
 	closed  bool
 
-	scorer *scoreState
+	// draining refuses new decide/score/sweep work during Shutdown while
+	// status endpoints keep answering; jobMu serializes the draining flag
+	// against sweep-job registration so Shutdown's jobWG.Wait is sound.
+	draining atomic.Bool
+	jobMu    sync.Mutex
+	jobWG    sync.WaitGroup
+
 	jobs   *jobTable
 	jobSem chan struct{} // serializes sweep-job execution
 }
 
 // errServerClosed is the fail-fast answer for requests after Close.
 var errServerClosed = errors.New("service: server is closed")
+
+// errDraining is the answer for new work during graceful shutdown.
+var errDraining = errors.New("service: server is draining")
 
 // New builds a server over the database. The sweep engine carries the
 // single-flight result cache /v1/sweep jobs share; pass nil for a private
@@ -107,39 +155,60 @@ func New(db *simdb.DB, engine *sweep.Engine, opt Options) *Server {
 		engine = sweep.NewEngine()
 	}
 	s := &Server{
-		db:      db,
 		engine:  engine,
 		opt:     opt.withDefaults(),
 		mux:     http.NewServeMux(),
 		quit:    make(chan struct{}),
 		started: time.Now(),
-		scorer:  newScoreState(db),
 	}
+	s.snap.Store(s.newSnapshot(db, s.opt.Source))
 	s.jobs = newJobTable(s.opt.MaxJobs)
 	s.jobSem = make(chan struct{}, 1)
 	s.shards = make([]*shard, s.opt.Shards)
-	n := db.Sys.NumCores
 	for i := range s.shards {
-		sh := &shard{
-			srv:      s,
-			ch:       make(chan task, s.opt.QueueDepth),
-			lru:      newLRU(s.opt.CacheSize),
-			mgrs:     make(map[managerKey]*core.Manager),
-			stats:    make([]core.IntervalStats, n),
-			statPtrs: make([]*core.IntervalStats, n),
-		}
+		sh := &shard{srv: s, ch: make(chan task, s.opt.QueueDepth)}
+		sh.adopt(s.snap.Load())
 		s.shards[i] = sh
 		go sh.run()
 	}
+	s.initMetrics()
 
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
-	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
-	s.mux.HandleFunc("POST /v1/score", s.handleScore)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweepSubmit)
-	s.mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepStatus)
-	s.mux.HandleFunc("GET /v1/sweep/{id}/result", s.handleSweepResult)
+	s.checker = ops.NewChecker(func(samples int) ops.AuditReport {
+		rep := s.Audit(samples)
+		if rep.Pass() {
+			s.metrics.auditPass.Inc()
+		} else {
+			s.metrics.auditFail.Inc()
+		}
+		return rep
+	}, s.opt.AuditInterval, s.opt.AuditSamples)
+	s.checker.Start()
+
+	s.handle("GET /v1/healthz", s.handleHealthz)
+	s.handle("GET /v1/meta", s.handleMeta)
+	s.handle("POST /v1/decide", s.handleDecide)
+	s.handle("POST /v1/score", s.handleScore)
+	s.handle("POST /v1/sweep", s.handleSweepSubmit)
+	s.handle("GET /v1/sweep/{id}", s.handleSweepStatus)
+	s.handle("GET /v1/sweep/{id}/result", s.handleSweepResult)
+	s.handle("GET /metrics", s.metrics.reg.ServeHTTP)
+	s.handle("GET /admin/status", s.handleAdminStatus)
+	s.handle("POST /admin/reload", s.handleAdminReload)
+	s.handle("POST /admin/check", s.handleAdminCheck)
 	return s
+}
+
+// handle registers a route and records its pattern for Routes.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.routes = append(s.routes, pattern)
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Routes returns the registered route patterns ("METHOD /path"), in
+// registration order — the contract tests and the docs-check script
+// compare this surface against docs/api.md.
+func (s *Server) Routes() []string {
+	return append([]string(nil), s.routes...)
 }
 
 // ServeHTTP dispatches to the versioned API.
@@ -147,17 +216,64 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close stops the shard workers. It waits for in-flight decide fan-outs
-// to drain (their tasks are always processed), and later requests answer
-// 503 instead of queueing into stopped shards. Close is idempotent.
+// Close stops the shard workers immediately. It waits for in-flight
+// decide fan-outs to drain (their tasks are always processed), and later
+// requests answer 503 instead of queueing into stopped shards. Close is
+// idempotent. For a graceful stop that also waits for queued work and
+// running sweep jobs, use Shutdown.
 func (s *Server) Close() {
 	s.stateMu.Lock()
-	defer s.stateMu.Unlock()
 	if !s.closed {
 		s.closed = true
 		close(s.quit)
 	}
+	s.stateMu.Unlock()
+	s.checker.Stop()
 }
+
+// Shutdown gracefully drains the server: new decide/score/sweep requests
+// are refused with 503 (Retry-After: 1) while status endpoints keep
+// answering, running sweep jobs and in-flight decide fan-outs complete,
+// and the shard workers stop. It returns nil when the drain finished
+// within ctx, or ctx.Err() after forcing an immediate close at the
+// deadline (in-flight work still completes in the background — nothing is
+// dropped, the caller just stops waiting). Callers typically pair it with
+// http.Server.Shutdown, which stops accepting connections first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.jobMu.Lock()
+	s.draining.Store(true)
+	s.jobMu.Unlock()
+	s.checker.Stop()
+
+	// Phase 1: running sweep jobs. The draining flag (set under jobMu)
+	// guarantees no new job registers after this Wait starts.
+	jobsDone := make(chan struct{})
+	go func() { s.jobWG.Wait(); close(jobsDone) }()
+	select {
+	case <-jobsDone:
+	case <-ctx.Done():
+		go s.Close()
+		return ctx.Err()
+	}
+
+	// Phase 2: in-flight decide fan-outs, then the workers. The write
+	// lock is acquired only once every fan-out has released the read
+	// side, i.e. once every accepted task has been answered.
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the server is refusing new work.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // writeJSON renders a JSON response.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -177,10 +293,21 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// HealthStats is the /v1/healthz payload.
+// writeUnavailable renders a 503 with a Retry-After hint — the shape
+// drain-aware clients (cmd/loadgen) recognize as "back off or move on".
+func writeUnavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// HealthStats is the /v1/healthz payload. Status is "ok" (200),
+// "degraded" (503: the self-checker's last audit found a mismatch or
+// failed to run) or "draining" (503: graceful shutdown in progress).
 type HealthStats struct {
 	Status    string  `json:"status"`
 	UptimeSec float64 `json:"uptime_sec"`
+	DBHash    string  `json:"db_hash"`
+	DBGen     uint64  `json:"db_generation"`
 
 	Decide struct {
 		Queries     uint64 `json:"queries"`
@@ -197,13 +324,32 @@ type HealthStats struct {
 		CacheHits   int64 `json:"cache_hits"`
 		CacheMisses int64 `json:"cache_misses"`
 	} `json:"sweep"`
+
+	// Checker is the self-checker's latest audit (absent before the first
+	// audit).
+	Checker *ops.AuditReport `json:"checker,omitempty"`
 }
 
 // handleHealthz is GET /v1/healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
 	var h HealthStats
 	h.Status = "ok"
+	code := http.StatusOK
+	if rep, ok := s.checker.Last(); ok {
+		h.Checker = &rep
+		if !rep.Pass() {
+			h.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
 	h.UptimeSec = time.Since(s.started).Seconds()
+	h.DBHash = sn.hash
+	h.DBGen = sn.gen
 	for _, sh := range s.shards {
 		h.Decide.Queries += sh.tasks.Load()
 		h.Decide.CacheHits += sh.hits.Load()
@@ -211,10 +357,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	h.Decide.Shards = len(s.shards)
 	h.Decide.CacheBounds = s.opt.CacheSize
-	h.Score.Requests = s.scorer.requests.Load()
+	h.Score.Requests = s.metrics.scoreRequests.Value()
 	h.Sweep.Jobs = s.jobs.count()
 	h.Sweep.CacheHits, h.Sweep.CacheMisses = s.engine.Cache().Stats()
-	writeJSON(w, http.StatusOK, &h)
+	writeJSON(w, code, &h)
 }
 
 // MetaBench describes one servable benchmark.
@@ -224,7 +370,8 @@ type MetaBench struct {
 }
 
 // Meta is the /v1/meta payload: everything a client (the load generator,
-// a dashboard) needs to construct valid queries.
+// a dashboard) needs to construct valid queries, plus the serving
+// database's content version so clients can detect hot-swaps.
 type Meta struct {
 	NumCores int         `json:"num_cores"`
 	LLCAssoc int         `json:"llc_assoc"`
@@ -233,23 +380,32 @@ type Meta struct {
 	Benches  []MetaBench `json:"benches"`
 	Shards   int         `json:"shards"`
 	Batch    int         `json:"batch"`
+
+	DBHash   string `json:"db_hash"`
+	DBGen    uint64 `json:"db_generation"`
+	DBSource string `json:"db_source"`
 }
 
 // handleMeta is GET /v1/meta.
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	db := sn.db
 	m := Meta{
-		NumCores: s.db.Sys.NumCores,
-		LLCAssoc: s.db.Sys.LLC.Assoc,
+		NumCores: db.Sys.NumCores,
+		LLCAssoc: db.Sys.LLC.Assoc,
 		Schemes:  []string{"static", "dvfs", "rm1", "rm2", "rm3", "ucp"},
 		Shards:   len(s.shards),
 		Batch:    s.opt.Batch,
+		DBHash:   sn.hash,
+		DBGen:    sn.gen,
+		DBSource: sn.source,
 	}
-	for _, op := range s.db.Sys.DVFS {
+	for _, op := range db.Sys.DVFS {
 		m.DVFSGHz = append(m.DVFSGHz, op.FreqGHz)
 	}
-	for _, name := range s.db.BenchNames() {
-		id, _ := s.db.BenchIDOf(name)
-		m.Benches = append(m.Benches, MetaBench{Name: name, Phases: s.db.Benches[id].Analysis.NumPhases})
+	for _, name := range db.BenchNames() {
+		id, _ := db.BenchIDOf(name)
+		m.Benches = append(m.Benches, MetaBench{Name: name, Phases: db.Benches[id].Analysis.NumPhases})
 	}
 	writeJSON(w, http.StatusOK, &m)
 }

@@ -1,0 +1,89 @@
+// Snapshot hot-swap: the server's entire serving state — the compiled
+// database, the scorer memoized against it, and the version identifying
+// both — lives behind one atomic pointer. A request loads the pointer
+// once and carries the snapshot through resolution, shard fan-out and
+// response rendering, so every answer is computed wholly against a single
+// consistent state: a reload can never produce a torn response. In-flight
+// requests finish on the snapshot they started with; requests arriving
+// after the swap see the new one. Shard-local derived state (decision
+// LRU, manager pool, statistics scratch) is keyed by snapshot generation
+// and rebuilt by the owning worker the first time it sees a newer
+// snapshot — no locks are added to the hot path.
+package service
+
+import (
+	"errors"
+	"time"
+
+	"qosrma/internal/simdb"
+)
+
+// snapshot is one immutable serving state.
+type snapshot struct {
+	// gen is the strictly increasing swap generation (1 = the database the
+	// server was constructed over).
+	gen uint64
+	// db is the compiled simulation database.
+	db *simdb.DB
+	// scorer is the collocation scorer memoized against db.
+	scorer *scoreState
+	// hash is db.Fingerprint(): the content version served in /v1/meta,
+	// /admin/status and the qosrmad_snapshot_info metric.
+	hash string
+	// source describes where the database came from ("built", a file
+	// path, "reload", ...), for operators reading /admin/status.
+	source string
+	// loaded is when this snapshot became current.
+	loaded time.Time
+}
+
+// errNoReloader answers /admin/reload when the server has no configured
+// reload source and the request named no path.
+var errNoReloader = errors.New("service: no reload source configured (pass {\"path\": ...} or set Options.Reloader)")
+
+// newSnapshot assembles a snapshot and assigns it the next generation.
+func (s *Server) newSnapshot(db *simdb.DB, source string) *snapshot {
+	return &snapshot{
+		gen:    s.gen.Add(1),
+		db:     db,
+		scorer: newScoreState(db),
+		hash:   db.Fingerprint(),
+		source: source,
+		loaded: time.Now(),
+	}
+}
+
+// Swap atomically replaces the serving snapshot with a new one built over
+// db. In-flight requests complete on the snapshot they resolved against;
+// requests arriving after Swap returns see the new database. Each shard
+// worker drops its decision LRU and manager pool the first time it
+// processes a query of the new generation. Returns the new snapshot's
+// content hash and generation.
+func (s *Server) Swap(db *simdb.DB, source string) (hash string, gen uint64) {
+	sn := s.newSnapshot(db, source)
+	s.snap.Store(sn)
+	s.metrics.reloads.Inc()
+	return sn.hash, sn.gen
+}
+
+// Reload rebuilds or re-reads the database from the configured reloader
+// (Options.Reloader) and swaps it in. This is what SIGHUP and a bodyless
+// POST /admin/reload trigger.
+func (s *Server) Reload() (hash string, gen uint64, err error) {
+	if s.opt.Reloader == nil {
+		return "", 0, errNoReloader
+	}
+	db, source, err := s.opt.Reloader()
+	if err != nil {
+		return "", 0, err
+	}
+	hash, gen = s.Swap(db, source)
+	return hash, gen, nil
+}
+
+// Snapshot reports the current serving version: the database content
+// hash, the swap generation, the source description and the load time.
+func (s *Server) Snapshot() (hash string, gen uint64, source string, loaded time.Time) {
+	sn := s.snap.Load()
+	return sn.hash, sn.gen, sn.source, sn.loaded
+}

@@ -139,11 +139,36 @@ func (t *jobTable) count() int {
 	return len(t.jobs)
 }
 
-// compileSweep validates the request against the database and builds the
-// engine spec plus its compiled points.
-func (s *Server) compileSweep(req *SweepRequest) (sweep.Spec, []sweep.RunSpec, error) {
+// stateCounts tallies retained jobs by state, for the sweep_jobs{state}
+// gauges.
+func (t *jobTable) stateCounts() (running, done, failed int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, j := range t.jobs {
+		j.mu.Lock()
+		st := j.state
+		j.mu.Unlock()
+		switch st {
+		case "running":
+			running++
+		case "done":
+			done++
+		case "failed":
+			failed++
+		}
+	}
+	return running, done, failed
+}
+
+// compileSweep validates the request against the snapshot's database and
+// builds the engine spec plus its compiled points. The spec captures the
+// snapshot's database, so a job started before a hot-swap completes on
+// the database it was submitted against (the engine's result cache keys
+// include the database shape, so swapped results never alias).
+func compileSweep(sn *snapshot, req *SweepRequest) (sweep.Spec, []sweep.RunSpec, error) {
 	var spec sweep.Spec
-	n := s.db.Sys.NumCores
+	db := sn.db
+	n := db.Sys.NumCores
 	if len(req.Workloads) == 0 {
 		return spec, nil, fmt.Errorf("sweep needs at least one workload")
 	}
@@ -152,7 +177,7 @@ func (s *Server) compileSweep(req *SweepRequest) (sweep.Spec, []sweep.RunSpec, e
 			return spec, nil, fmt.Errorf("workload %d needs %d apps, got %d", i, n, len(apps))
 		}
 		for _, app := range apps {
-			if _, ok := s.db.BenchIDOf(app); !ok {
+			if _, ok := db.BenchIDOf(app); !ok {
 				return spec, nil, fmt.Errorf("workload %d: unknown benchmark %q", i, app)
 			}
 		}
@@ -182,7 +207,7 @@ func (s *Server) compileSweep(req *SweepRequest) (sweep.Spec, []sweep.RunSpec, e
 		spec.Models = append(spec.Models, kind)
 	}
 	for _, f := range req.BaselineFreqsGHz {
-		spec.BaselineFreqIdxs = append(spec.BaselineFreqIdxs, s.db.Sys.DVFS.ClosestIndex(f))
+		spec.BaselineFreqIdxs = append(spec.BaselineFreqIdxs, db.Sys.DVFS.ClosestIndex(f))
 	}
 	for i, v := range req.Slacks {
 		if v < 0 {
@@ -200,7 +225,7 @@ func (s *Server) compileSweep(req *SweepRequest) (sweep.Spec, []sweep.RunSpec, e
 		}
 	}
 	spec.Name = req.Name
-	spec.DB = s.db
+	spec.DB = db
 	spec.Slacks = req.Slacks
 	spec.SlackVectors = req.SlackVectors
 	spec.Oracle = req.Oracle
@@ -217,22 +242,42 @@ func (s *Server) compileSweep(req *SweepRequest) (sweep.Spec, []sweep.RunSpec, e
 // handleSweepSubmit is POST /v1/sweep: validate, register a job, execute
 // asynchronously, answer 202 with the job id.
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	// Fast-path drain refusal; the authoritative, race-free check happens
+	// again under jobMu below.
+	if s.draining.Load() {
+		writeUnavailable(w, errDraining)
+		return
+	}
+	sn := s.snap.Load()
 	var req SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	spec, points, err := s.compileSweep(&req)
+	spec, points, err := compileSweep(sn, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Registration and the draining flag are serialized under jobMu, so
+	// once Shutdown observes the flag set no further job can join the
+	// WaitGroup it is about to wait on.
+	s.jobMu.Lock()
+	if s.draining.Load() {
+		s.jobMu.Unlock()
+		writeUnavailable(w, errDraining)
+		return
+	}
 	job, err := s.jobs.create(len(points))
 	if err != nil {
+		s.jobMu.Unlock()
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
+	s.jobWG.Add(1)
+	s.jobMu.Unlock()
 	go func() {
+		defer s.jobWG.Done()
 		// One sweep executes at a time per server: the engine's worker
 		// pool already saturates the cores, so serializing jobs bounds
 		// memory and keeps decide latency steady under sweep load. The

@@ -1,0 +1,65 @@
+package simdb
+
+import (
+	"testing"
+
+	"qosrma/internal/trace"
+)
+
+// TestFingerprintStableAcrossRebuilds: the fingerprint is a pure function
+// of the database content, so a deterministic rebuild hashes identically —
+// the property that lets a hot-swapped identical database keep its served
+// version, and that makes version drift a real signal.
+func TestFingerprintStableAcrossRebuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds a database")
+	}
+	db := testDB(t)
+	fp := db.Fingerprint()
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q is not a 16-hex-digit hash", fp)
+	}
+	opt := DefaultBuildOptions()
+	opt.Sample = trace.SampleParams{Accesses: 20000, WarmupAccesses: 6000}
+	benches := []*trace.Benchmark{
+		trace.ByName("mcf"), trace.ByName("libquantum"),
+		trace.ByName("hmmer"), trace.ByName("gcc"),
+	}
+	db2, err := Build(db.Sys, benches, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 := db2.Fingerprint(); fp2 != fp {
+		t.Fatalf("rebuild changed the fingerprint: %s vs %s", fp, fp2)
+	}
+}
+
+// TestFingerprintSensitive: configuration and content changes move the
+// hash.
+func TestFingerprintSensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a built database")
+	}
+	db := testDB(t)
+	fp := db.Fingerprint()
+
+	sys := db.Sys
+	sys.BaselineFreqIdx = (sys.BaselineFreqIdx + 1) % len(sys.DVFS)
+	if db.WithSys(sys).Fingerprint() == fp {
+		t.Fatal("baseline change kept the fingerprint")
+	}
+
+	// Perturb one compiled table cell (on a copy of the table slice so the
+	// shared test database stays intact).
+	mut := *db
+	mut.Benches = append([]*BenchData(nil), db.Benches...)
+	bd := *mut.Benches[0]
+	bd.PerfTables = append([][]PerfPoint(nil), bd.PerfTables...)
+	tab := append([]PerfPoint(nil), bd.PerfTables[0]...)
+	tab[0].Cycles++
+	bd.PerfTables[0] = tab
+	mut.Benches[0] = &bd
+	if mut.Fingerprint() == fp {
+		t.Fatal("table perturbation kept the fingerprint")
+	}
+}

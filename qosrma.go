@@ -24,7 +24,9 @@
 //     placement — reachable through System.Cluster, and
 //   - the decision service (internal/service, cmd/qosrmad) — a sharded,
 //     micro-batched HTTP/JSON server answering RMA decisions, collocation
-//     scores and async sweeps bit-identically to the library calls —
+//     scores and async sweeps bit-identically to the library calls, with a
+//     live-ops control plane (Prometheus metrics, atomic database hot-swap,
+//     graceful drain, a bit-identity self-checker; see docs/operations.md) —
 //     reachable through System.Serve / System.NewServer.
 //
 // The compiled-lattice design follows the thesis methodology (Figure 2.1)
@@ -33,9 +35,10 @@
 // phase's interval outcome is precomputed for every lattice point, and the
 // RMA simulator's hot path is a bounds-checked array read (~1.1 ns, was
 // ~82 ns of model re-evaluation), which in turn cuts a full co-phase
-// workload simulation to roughly a third of its former runtime (~2.9×; see
-// the README's benchmark table) and the sweep-heavy paper experiments
-// proportionally.
+// workload simulation to roughly a third of its former runtime (~2.9×; the
+// committed benchbase.txt tracks the micro-benchmarks) and the sweep-heavy
+// paper experiments proportionally. docs/architecture.md maps the layers
+// and the invariants that hold them together.
 //
 // Quick start:
 //
@@ -50,6 +53,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"qosrma/internal/arch"
 	"qosrma/internal/core"
@@ -282,10 +286,14 @@ func (s *System) BaselineRound(bench string) (seconds, joules float64, err error
 }
 
 // Server is the long-running decision service over this system: an
-// http.Handler answering /v1/decide, /v1/score, /v1/sweep, /v1/meta and
-// /v1/healthz (see internal/service for the wire formats). Decisions are
-// sharded and micro-batched with a per-shard LRU in front, and are
-// bit-identical to the corresponding direct library calls.
+// http.Handler answering the /v1/* API (decide, score, sweep, meta,
+// healthz) plus the live-ops control plane — GET /metrics in Prometheus
+// text format, POST /admin/reload for atomic database hot-swap,
+// /admin/status and /admin/check for the self-checker (see docs/api.md
+// and internal/service for the wire formats). Decisions are sharded and
+// micro-batched with a per-shard LRU in front, and are bit-identical to
+// the corresponding direct library calls. Stop with Server.Shutdown
+// (graceful drain) or Server.Close (immediate).
 type Server = service.Server
 
 // ServeSpec configures the decision service.
@@ -301,21 +309,51 @@ type ServeSpec struct {
 	// CacheSize is the per-shard decision-LRU capacity (default 4096
 	// entries; negative disables caching).
 	CacheSize int
+
+	// ReloadPath, when set, is where SIGHUP and bodyless POST /admin/reload
+	// re-read the database from. Unset, reloads rebuild the database from
+	// the system's configuration over the full suite (a deterministic
+	// rebuild keeps the same content hash).
+	ReloadPath string
+	// AuditInterval is the self-checker period (0 disables periodic
+	// audits; POST /admin/check still audits on demand).
+	AuditInterval time.Duration
+	// AuditSamples bounds cached decisions re-verified per audit
+	// (default 16).
+	AuditSamples int
 }
 
 // NewServer builds the decision service handler over this system's
 // database and sweep engine (sweep jobs share the engine's single-flight
-// result cache with Sweep calls). Release with Server.Close.
+// result cache with Sweep calls). Release with Server.Close or drain with
+// Server.Shutdown.
 func (s *System) NewServer(spec ServeSpec) *Server {
+	source := "built"
+	reloader := func() (*simdb.DB, string, error) {
+		db, err := simdb.Build(s.db.Sys, trace.Suite(), simdb.DefaultBuildOptions())
+		return db, "rebuilt", err
+	}
+	if spec.ReloadPath != "" {
+		source = spec.ReloadPath
+		reloader = func() (*simdb.DB, string, error) {
+			db, err := simdb.LoadFile(spec.ReloadPath)
+			return db, spec.ReloadPath, err
+		}
+	}
 	return service.New(s.db, s.engine, service.Options{
-		Shards:    spec.Shards,
-		Batch:     spec.Batch,
-		CacheSize: spec.CacheSize,
+		Shards:        spec.Shards,
+		Batch:         spec.Batch,
+		CacheSize:     spec.CacheSize,
+		Source:        source,
+		Reloader:      reloader,
+		AuditInterval: spec.AuditInterval,
+		AuditSamples:  spec.AuditSamples,
 	})
 }
 
 // Serve runs the decision service on spec.Addr until the listener fails.
-// This is the blocking entry point cmd/qosrmad uses.
+// This is the simple blocking entry point; cmd/qosrmad wraps NewServer in
+// its own http.Server for signal-driven reload and graceful drain.
 func (s *System) Serve(spec ServeSpec) error {
 	srv := s.NewServer(spec)
 	defer srv.Close()

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Docs consistency wall, run in CI as `make docs-check`:
+#
+#  1. Every relative markdown link in README.md and docs/*.md must
+#     resolve to a file that exists (anchors are stripped; absolute
+#     http(s) links are not checked).
+#  2. The server's registered route table (the `s.handle("METHOD /path"`
+#     lines in internal/service/service.go) and docs/api.md must agree
+#     in BOTH directions: every registered route is documented as a
+#     `### \`METHOD /path\`` heading, and every documented heading is a
+#     registered route. A route cannot be added, renamed or removed
+#     without the API reference changing too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative links ------------------------------------------------
+for doc in README.md docs/*.md; do
+	dir=$(dirname "$doc")
+	# Pull out every](target) occurrence; keep relative targets only.
+	while IFS= read -r target; do
+		target=${target%%#*} # in-page anchors: check the file only
+		[ -z "$target" ] && continue
+		if [ ! -e "$dir/$target" ]; then
+			echo "docs-check: $doc links to missing $dir/$target" >&2
+			fail=1
+		fi
+	done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](\(.*\))$/\1/' |
+		grep -v '^https\?://' | grep -v '^#' || true)
+done
+
+# --- 2. route coverage, both directions -------------------------------
+routes_src=$(mktemp)
+routes_doc=$(mktemp)
+trap 'rm -f "$routes_src" "$routes_doc"' EXIT
+
+grep -o 's\.handle("[A-Z]* [^"]*"' internal/service/service.go |
+	sed 's/^s\.handle("//; s/"$//' | sort >"$routes_src"
+grep -o '^### `[A-Z]* [^`]*`' docs/api.md |
+	sed 's/^### `//; s/`$//' | sort >"$routes_doc"
+
+if [ ! -s "$routes_src" ]; then
+	echo "docs-check: found no route registrations in internal/service/service.go" >&2
+	exit 1
+fi
+
+undocumented=$(comm -23 "$routes_src" "$routes_doc")
+if [ -n "$undocumented" ]; then
+	echo "docs-check: registered routes missing from docs/api.md:" >&2
+	echo "$undocumented" >&2
+	fail=1
+fi
+phantom=$(comm -13 "$routes_src" "$routes_doc")
+if [ -n "$phantom" ]; then
+	echo "docs-check: docs/api.md documents routes the server does not register:" >&2
+	echo "$phantom" >&2
+	fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "docs-check: $(wc -l <"$routes_src") routes documented, all links resolve"
