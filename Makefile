@@ -18,13 +18,13 @@ BENCH_DIFF ?= benchdiff.txt
 # LeadingMissSurface (fused all-(c,w) profile), SimulatePhase (per-phase
 # kernel) and EnvBuild (cold full environment — the headline build-side
 # wall time, also recorded in the CI bench artifact).
-MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulatePhase|CurveReduction|TreeReduction16Core|SimDBLookup|SimDBReferenceEval|RMASimRun|RMASimStep|ClusterRun|RMAOverhead|RM3Overhead|EnvBuild
+MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulatePhase|CurveReduction|TreeReduction16Core|SimDBLookup|SimDBReferenceEval|RMASimRun|RMASimStep|ClusterRun|RMAOverhead|RM3Overhead|EnvBuild|WireEncode|WireDecode
 # benchbase and benchdiff must measure under identical flags, or the
 # benchstat comparison is noise.
 MICRO_FLAGS ?= -benchtime=0.2s -count=5
 
 .PHONY: all build test test-short lint bench benchbase benchdiff pprof example-cluster \
-	loadtest determinism golden cover cover-check fuzz-smoke docs-check clean
+	loadtest loadtest-wire determinism golden cover cover-check fuzz-smoke docs-check clean
 
 all: build lint test
 
@@ -77,14 +77,21 @@ example-cluster:
 loadtest:
 	./scripts/loadtest.sh
 
+# Same smoke over the binary decide protocol (qosrmad -wire-addr +
+# loadgen -wire): the zero-copy path must clear a floor well above the
+# JSON one. Report lands in loadgen.wire.txt.
+loadtest-wire:
+	WIRE=1 MIN_QPS=250000 OUT=loadgen.wire.txt ./scripts/loadtest.sh
+
 # The byte-determinism wall, promoted to the per-push CI lane: the cluster
 # engine's emitter output across worker counts {1,4,GOMAXPROCS}, database
-# builds across worker counts, and concurrent service batches vs
-# sequential library calls. Run without -short (these need real database
-# builds) and without caching.
+# builds across worker counts, concurrent service batches vs sequential
+# library calls, the binary decide path vs the JSON one on the same seeded
+# trace, and the binary response stream hash across shard/cache layouts.
+# Run without -short (these need real database builds) and without caching.
 determinism:
 	$(GO) test -count=1 -run \
-		'TestClusterDeterministic|TestBuildDeterministicAcrossWorkerCounts|TestConcurrentDecideDeterministic|TestDecideMatchesLibrary' \
+		'TestClusterDeterministic|TestBuildDeterministicAcrossWorkerCounts|TestConcurrentDecideDeterministic|TestDecideMatchesLibrary|TestWireMatchesJSON|TestWireStreamDeterministic' \
 		./internal/cluster ./internal/simdb ./internal/service
 
 # Golden-table regression: regenerate the committed paper tables through
@@ -97,7 +104,7 @@ golden:
 # fuzzing time), so corpus regressions fail fast in CI; `go test -fuzz`
 # explores further locally.
 fuzz-smoke:
-	$(GO) test -count=1 -run 'Fuzz' ./internal/simdb ./internal/service ./internal/cache ./internal/core
+	$(GO) test -count=1 -run 'Fuzz' ./internal/simdb ./internal/service ./internal/cache ./internal/core ./internal/wire
 
 # Docs consistency wall: every relative link in README.md and docs/
 # resolves, and the server's registered route table matches docs/api.md
@@ -123,6 +130,6 @@ pprof:
 	$(GO) tool pprof -top -nodecount=25 qosrma.test cpu.prof | tee pprof.txt
 
 clean:
-	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF) cpu.prof pprof.txt qosrma.test loadgen.txt
+	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF) cpu.prof pprof.txt qosrma.test loadgen.txt loadgen.wire.txt
 	rm -rf cover bin
 	$(GO) clean ./...

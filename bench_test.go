@@ -20,6 +20,7 @@ import (
 	"qosrma/internal/simpoint"
 	"qosrma/internal/stats"
 	"qosrma/internal/trace"
+	"qosrma/internal/wire"
 )
 
 func benchEnv(b *testing.B) *experiments.Env {
@@ -624,6 +625,60 @@ func BenchmarkEnvBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		simdb.ResetProfileCache()
 		if _, err := experiments.BuildEnv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWireRequest builds a representative decide frame: a 64-query
+// batch of 4-core co-phase vectors under uniform slack — the shape the
+// serving hot path sees from loadgen and batch-oriented clients.
+func benchWireRequest() *wire.DecideRequest {
+	rng := stats.NewRNG(stats.SeedFrom(1, "bench/wire"))
+	req := &wire.DecideRequest{
+		Seq:    7,
+		DBHash: 0x1234567890abcdef,
+		Scheme: 3, // rm2
+		NCores: 4,
+		Flags:  wire.FlagSlackUniform,
+		Slack:  0.2,
+	}
+	for q := 0; q < 64; q++ {
+		for c := 0; c < 4; c++ {
+			req.Apps = append(req.Apps, wire.App{
+				Bench: uint16(rng.Intn(16)),
+				Phase: uint16(rng.Intn(8)),
+			})
+		}
+	}
+	return req
+}
+
+// BenchmarkWireEncode measures encoding one 64-query binary decide frame
+// into a reused buffer (the client side of the wire hot path).
+func BenchmarkWireEncode(b *testing.B) {
+	req := benchWireRequest()
+	buf := wire.AppendDecideRequest(nil, req)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = wire.AppendDecideRequest(buf[:0], req)
+	}
+}
+
+// BenchmarkWireDecode measures the zero-copy decode of the same frame
+// into caller-owned scratch (the server side; steady state is 0 allocs —
+// pinned by TestDecodeZeroAlloc in internal/wire).
+func BenchmarkWireDecode(b *testing.B) {
+	frame := wire.AppendDecideRequest(nil, benchWireRequest())
+	payload := frame[wire.HeaderSize:]
+	var req wire.DecideRequest
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wire.ParseDecideRequest(payload, &req); err != nil {
 			b.Fatal(err)
 		}
 	}

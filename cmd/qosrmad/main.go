@@ -27,10 +27,24 @@
 //	                   work and running sweep jobs, exit (bounded by
 //	                   -drain-timeout)
 //
+// Besides HTTP/JSON, two scale-out modes:
+//
+//	-wire-addr :7744   also serve the compact binary decide protocol
+//	                   (internal/wire; spec in docs/api.md) on a raw TCP
+//	                   listener — the same shard channels, bit-identical
+//	                   answers, several times the JSON throughput
+//	-route SPEC        routing-tier mode: serve no decisions locally, but
+//	                   consistent-hash decide batches across replicated
+//	                   backend groups ("a:7743,b:7743;c:7743" = two
+//	                   groups, the first with two replicas) and forward
+//	                   everything else to a rotating replica
+//
 // Usage:
 //
 //	qosrmad -addr :7743 -cores 4
 //	qosrmad -addr :7743 -db db.gob.gz -audit-interval 30s
+//	qosrmad -addr :7743 -wire-addr :7744
+//	qosrmad -addr :7700 -route "10.0.0.1:7743;10.0.0.2:7743"
 package main
 
 import (
@@ -39,18 +53,24 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"qosrma"
+	"qosrma/internal/route"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7743", "listen address")
+		wireAddr     = flag.String("wire-addr", "", "also serve the binary decide protocol on this raw-TCP address")
+		routeSpec    = flag.String("route", "", "routing-tier mode: consistent-hash decide traffic across backend groups (groups ';'-separated, replicas ','-separated)")
+		vnodes       = flag.Int("vnodes", 0, "routing-tier virtual nodes per group (0 = default)")
 		cores        = flag.Int("cores", 4, "cores per machine (when building the database)")
 		dbPath       = flag.String("db", "", "load a compiled database instead of building one (also the SIGHUP reload source)")
 		shards       = flag.Int("shards", 0, "decision shards (0 = GOMAXPROCS, capped at 16)")
@@ -61,6 +81,11 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline on SIGTERM/SIGINT")
 	)
 	flag.Parse()
+
+	if *routeSpec != "" {
+		runRouter(*addr, *routeSpec, *vnodes, *drainTimeout)
+		return
+	}
 
 	start := time.Now()
 	var (
@@ -90,6 +115,23 @@ func main() {
 	hash, _, _, _ := srv.Snapshot()
 	log.Printf("qosrmad: database ready in %.2fs (%d cores, %d benchmarks, hash %s); listening on %s",
 		time.Since(start).Seconds(), sys.Config().NumCores, sys.DB().NumBenches(), hash, *addr)
+
+	// The binary listener rides beside the HTTP one: same shard channels,
+	// bit-identical answers, and Close/Shutdown tear it down with the rest
+	// of the server.
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qosrmad: wire listener: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("qosrmad: binary decide protocol on %s", *wireAddr)
+		go func() {
+			if err := srv.ServeWire(ln); err != nil {
+				log.Printf("qosrmad: wire serving stopped: %v", err)
+			}
+		}()
+	}
 
 	// SIGHUP → hot reload; SIGTERM/SIGINT → graceful drain. The signal
 	// loop owns process lifetime; the serve goroutine just reports.
@@ -132,5 +174,53 @@ func main() {
 				return
 			}
 		}
+	}
+}
+
+// runRouter is -route mode: a stateless consistent-hash tier over
+// replicated backend groups. It builds no database — decide batches are
+// split by the ring and merged, everything else is forwarded whole.
+func runRouter(addr, spec string, vnodes int, drainTimeout time.Duration) {
+	groups, err := route.ParseGroups(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qosrmad: %v\n", err)
+		os.Exit(1)
+	}
+	ring, err := route.New(groups, vnodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qosrmad: %v\n", err)
+		os.Exit(1)
+	}
+	proxy := route.NewProxy(ring, nil)
+	httpSrv := &http.Server{Addr: addr, Handler: proxy}
+
+	var desc []string
+	for _, g := range groups {
+		desc = append(desc, fmt.Sprintf("%s[%d replicas]", g.Name, len(g.Addrs)))
+	}
+	log.Printf("qosrmad: routing tier on %s over %d groups: %s", addr, len(groups), strings.Join(desc, " "))
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "qosrmad: %v\n", err)
+			os.Exit(1)
+		}
+	case sig := <-sigs:
+		log.Printf("qosrmad: %v: draining routing tier (deadline %s)", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		err := httpSrv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("qosrmad: drain incomplete at deadline: %v", err)
+			os.Exit(1)
+		}
+		requests, splits, failures := proxy.Stats()
+		log.Printf("qosrmad: routing tier drained cleanly (%d decide requests, %d split, %d forward failures)",
+			requests, splits, failures)
 	}
 }

@@ -1,0 +1,310 @@
+package route
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"qosrma/internal/service"
+)
+
+// Proxy is the routing tier's http.Handler: it speaks the decision
+// service's own JSON API, owns no database, and makes no decisions
+// itself. POST /v1/decide bodies are split by the ring — each query goes
+// to the group owning its canonical key — and the per-group sub-batches
+// are forwarded concurrently and merged back into request order. Every
+// other request (meta, healthz, score, sweep, admin) is forwarded whole
+// to a rotating replica, so operators can point any client at the proxy.
+type Proxy struct {
+	ring   *Ring
+	client *http.Client
+	// rr rotates replica choice per group (and, for whole-request
+	// forwarding, across groups).
+	rr []atomic.Uint32
+	gr atomic.Uint32
+
+	// Counters for tests and the /admin-style status line.
+	requests atomic.Uint64 // decide requests handled
+	splits   atomic.Uint64 // decide requests that spanned >1 group
+	failures atomic.Uint64 // forwards that exhausted a group's replicas
+}
+
+// NewProxy builds a proxy over the ring. client nil selects a transport
+// sized for backend connection reuse.
+func NewProxy(ring *Ring, client *http.Client) *Proxy {
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+		}}
+	}
+	return &Proxy{
+		ring:   ring,
+		client: client,
+		rr:     make([]atomic.Uint32, len(ring.Backends())),
+	}
+}
+
+// Stats reports decide requests handled, how many spanned multiple
+// groups, and how many forwards exhausted a replica set.
+func (p *Proxy) Stats() (requests, splits, failures uint64) {
+	return p.requests.Load(), p.splits.Load(), p.failures.Load()
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/decide" {
+		p.serveDecide(w, r)
+		return
+	}
+	p.forwardWhole(w, r)
+}
+
+// RoutingKey renders the canonical routing form of one query: lowercased
+// scheme, model, slack vector and the (bench, phase) co-phase vector. It
+// is the name-interned analog of the service's internal cache key — the
+// proxy has no database to intern against — and the only property the
+// tier needs: equal queries land on equal groups, so each backend's
+// decision LRU sees a stable partition of the key space.
+func RoutingKey(dst []byte, q *service.DecideQuery) []byte {
+	dst = append(dst, strings.ToLower(q.Scheme)...)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(q.Model), 10)
+	dst = append(dst, '/')
+	switch {
+	case len(q.Slacks) > 0:
+		for i, v := range q.Slacks {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+		}
+	case q.Slack != 0:
+		dst = strconv.AppendFloat(dst, q.Slack, 'g', -1, 64)
+	}
+	for _, app := range q.Apps {
+		dst = append(dst, '|')
+		dst = append(dst, app.Bench...)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(app.Phase), 10)
+	}
+	return dst
+}
+
+// serveDecide splits a decide request by owning group and merges the
+// answers. A request whose queries all map to one group is forwarded
+// verbatim (the common case under key-affine clients).
+func (p *Proxy) serveDecide(w http.ResponseWriter, r *http.Request) {
+	p.requests.Add(1)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeProxyError(w, http.StatusBadRequest, fmt.Errorf("read request: %w", err))
+		return
+	}
+	var req service.DecideRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeProxyError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	single := len(req.Queries) == 0
+	queries := req.Queries
+	if single {
+		queries = []service.DecideQuery{req.DecideQuery}
+	}
+
+	groups := make([][]int, len(p.ring.Backends()))
+	var key []byte
+	distinct := -1
+	split := false
+	for i := range queries {
+		key = RoutingKey(key[:0], &queries[i])
+		g := p.ring.Pick(key)
+		groups[g] = append(groups[g], i)
+		if distinct == -1 {
+			distinct = g
+		} else if g != distinct {
+			split = true
+		}
+	}
+
+	if !split {
+		// One owning group: forward the original body untouched so the
+		// backend sees exactly what the client sent (single/batch shape
+		// included).
+		resp, err := p.forwardGroup(distinct, bytes.NewReader(body))
+		if err != nil {
+			writeProxyError(w, http.StatusBadGateway, err)
+			return
+		}
+		defer resp.Body.Close()
+		copyResponse(w, resp)
+		return
+	}
+	p.splits.Add(1)
+
+	// Fan the sub-batches out concurrently; merge preserves request order
+	// because each group's answer slice is index-aligned with the subset
+	// it was sent.
+	type groupResult struct {
+		g    int
+		resp service.DecideResponse
+		err  error
+		code int
+		body []byte
+	}
+	var wg sync.WaitGroup
+	results := make([]groupResult, 0, len(groups))
+	for g, idx := range groups {
+		if len(idx) == 0 {
+			continue
+		}
+		results = append(results, groupResult{g: g})
+	}
+	for i := range results {
+		wg.Add(1)
+		go func(gr *groupResult) {
+			defer wg.Done()
+			idx := groups[gr.g]
+			sub := service.DecideRequest{Queries: make([]service.DecideQuery, len(idx))}
+			for j, qi := range idx {
+				sub.Queries[j] = queries[qi]
+			}
+			b, err := json.Marshal(&sub)
+			if err != nil {
+				gr.err = err
+				return
+			}
+			resp, err := p.forwardGroup(gr.g, bytes.NewReader(b))
+			if err != nil {
+				gr.err = err
+				return
+			}
+			defer resp.Body.Close()
+			payload, err := io.ReadAll(resp.Body)
+			if err != nil {
+				gr.err = err
+				return
+			}
+			gr.code = resp.StatusCode
+			gr.body = payload
+			if resp.StatusCode == http.StatusOK {
+				gr.err = json.Unmarshal(payload, &gr.resp)
+			}
+		}(&results[i])
+	}
+	wg.Wait()
+
+	merged := service.DecideResponse{Results: make([]service.DecideAnswer, len(queries))}
+	for _, gr := range results {
+		if gr.err != nil {
+			writeProxyError(w, http.StatusBadGateway,
+				fmt.Errorf("backend group %s: %v", p.ring.Backends()[gr.g].Name, gr.err))
+			return
+		}
+		if gr.code != http.StatusOK {
+			// Propagate the backend's own error verbatim (validation
+			// failures carry the offending sub-batch index, which is still
+			// meaningful to the caller after remapping is lost — the error
+			// text names the query content).
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(gr.code)
+			w.Write(gr.body) //nolint:errcheck // client gone; nothing to report
+			return
+		}
+		idx := groups[gr.g]
+		if len(gr.resp.Results) != len(idx) {
+			writeProxyError(w, http.StatusBadGateway,
+				fmt.Errorf("backend group %s answered %d results for %d queries",
+					p.ring.Backends()[gr.g].Name, len(gr.resp.Results), len(idx)))
+			return
+		}
+		for j, qi := range idx {
+			merged.Results[qi] = gr.resp.Results[j]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(&merged) //nolint:errcheck // client gone; nothing to report
+}
+
+// forwardGroup posts a decide body to group g, rotating through its
+// replicas and failing over on connection errors.
+func (p *Proxy) forwardGroup(g int, body *bytes.Reader) (*http.Response, error) {
+	addrs := p.ring.Backends()[g].Addrs
+	start := int(p.rr[g].Add(1))
+	var lastErr error
+	for i := 0; i < len(addrs); i++ {
+		addr := addrs[(start+i)%len(addrs)]
+		body.Seek(0, io.SeekStart) //nolint:errcheck // bytes.Reader cannot fail
+		resp, err := p.client.Post("http://"+addr+"/v1/decide", "application/json", body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	p.failures.Add(1)
+	return nil, fmt.Errorf("all %d replicas failed: %w", len(addrs), lastErr)
+}
+
+// forwardWhole proxies any non-decide request to a rotating replica
+// (meta, healthz, metrics, admin, sweep). Decide-independent state is
+// assumed fleet-uniform — every backend serves the same database.
+func (p *Proxy) forwardWhole(w http.ResponseWriter, r *http.Request) {
+	backends := p.ring.Backends()
+	g := int(p.gr.Add(1)) % len(backends)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeProxyError(w, http.StatusBadRequest, err)
+		return
+	}
+	var lastErr error
+	for i := 0; i < len(backends); i++ {
+		b := backends[(g+i)%len(backends)]
+		for j := 0; j < len(b.Addrs); j++ {
+			addr := b.Addrs[(int(p.rr[(g+i)%len(backends)].Add(1))+j)%len(b.Addrs)]
+			req, err := http.NewRequestWithContext(r.Context(), r.Method,
+				"http://"+addr+r.URL.RequestURI(), bytes.NewReader(body))
+			if err != nil {
+				writeProxyError(w, http.StatusInternalServerError, err)
+				return
+			}
+			if ct := r.Header.Get("Content-Type"); ct != "" {
+				req.Header.Set("Content-Type", ct)
+			}
+			resp, err := p.client.Do(req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			defer resp.Body.Close()
+			copyResponse(w, resp)
+			return
+		}
+	}
+	p.failures.Add(1)
+	writeProxyError(w, http.StatusBadGateway, fmt.Errorf("no backend reachable: %w", lastErr))
+}
+
+// copyResponse relays a backend response (status, content type, body).
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // client gone; nothing to report
+}
+
+// writeProxyError mirrors the service's error body shape.
+func writeProxyError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}

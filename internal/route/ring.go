@@ -1,0 +1,149 @@
+// Package route is qosrmad's consistent-hash routing tier: it partitions
+// the decide key space across replicated backend groups so a fleet of
+// decision servers behaves like one big one. Every query's canonical
+// co-phase key hashes onto a ring of virtual nodes; the owning group is
+// stable under group addition/removal (only ~1/N of keys move when a
+// group joins — the property that keeps backend decision LRUs warm
+// through fleet resizes), and each group may list several replica
+// addresses that serve the same key range interchangeably.
+//
+// The package has two layers: Ring (pure placement — bytes in, group
+// out) and Proxy (an http.Handler speaking the service's own JSON API
+// that splits decide batches by owning group, forwards the sub-batches
+// concurrently with per-group replica rotation and failover, and merges
+// the answers back into request order). cmd/qosrmad -route wraps Proxy;
+// cmd/loadgen's -addrs flag drives the backends directly with the same
+// placement assumption.
+package route
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Backend is one replicated group of decision servers: every address
+// serves the same slice of the key space (same database, same
+// configuration), so the proxy may use any replica and fail over to the
+// others.
+type Backend struct {
+	// Name identifies the group on the ring; the virtual-node positions
+	// are derived from it, so renaming a group moves its keys while
+	// adding/removing replicas does not.
+	Name string
+	// Addrs are the replica addresses (host:port).
+	Addrs []string
+}
+
+// point is one virtual node: a position on the ring owned by a group.
+type point struct {
+	h   uint64
+	idx int // index into Ring.backends
+}
+
+// Ring places keys onto backend groups by consistent hashing with
+// virtual nodes. Immutable after New; safe for concurrent use.
+type Ring struct {
+	backends []Backend
+	points   []point
+}
+
+// DefaultVnodes is the per-group virtual-node count used when the caller
+// passes 0: enough that group loads balance within a few percent, small
+// enough that ring construction and lookup stay trivial.
+const DefaultVnodes = 128
+
+// New builds a ring over the groups. vnodes ≤ 0 selects DefaultVnodes.
+func New(backends []Backend, vnodes int) (*Ring, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("route: no backend groups")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(backends))
+	r := &Ring{
+		backends: append([]Backend(nil), backends...),
+		points:   make([]point, 0, vnodes*len(backends)),
+	}
+	for i, b := range backends {
+		if b.Name == "" {
+			return nil, fmt.Errorf("route: group %d has no name", i)
+		}
+		if seen[b.Name] {
+			return nil, fmt.Errorf("route: duplicate group name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if len(b.Addrs) == 0 {
+			return nil, fmt.Errorf("route: group %q has no replica addresses", b.Name)
+		}
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{h: Hash([]byte(b.Name + "#" + strconv.Itoa(v))), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].h < r.points[b].h })
+	return r, nil
+}
+
+// Backends returns the groups in construction order.
+func (r *Ring) Backends() []Backend { return r.backends }
+
+// Pick returns the index of the group owning key (the first virtual node
+// clockwise of the key's hash).
+func (r *Ring) Pick(key []byte) int { return r.PickHash(Hash(key)) }
+
+// PickHash is Pick for a pre-computed key hash.
+func (r *Ring) PickHash(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].idx
+}
+
+// Hash is the routing hash: 64-bit FNV-1a, the same function the service
+// uses to spread canonical keys over its internal shards.
+func Hash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// ParseGroups parses the -route flag syntax: groups separated by ';',
+// replica addresses within a group by ','. Groups are named g0, g1, ...
+// in order (names derive ring positions, so the flag order is part of
+// the fleet's placement contract).
+//
+//	"10.0.0.1:7743,10.0.0.2:7743;10.0.1.1:7743"
+//	→ g0{10.0.0.1:7743 10.0.0.2:7743}, g1{10.0.1.1:7743}
+func ParseGroups(spec string) ([]Backend, error) {
+	var groups []Backend
+	for _, g := range strings.Split(spec, ";") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		var addrs []string
+		for _, a := range strings.Split(g, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			continue
+		}
+		groups = append(groups, Backend{Name: "g" + strconv.Itoa(len(groups)), Addrs: addrs})
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("route: %q names no backend groups", spec)
+	}
+	return groups, nil
+}

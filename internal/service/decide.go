@@ -25,7 +25,6 @@ package service
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"net/http"
 	"strconv"
 	"strings"
@@ -116,12 +115,29 @@ func (a decideResult) equal(b decideResult) bool {
 
 // decideQuery is a validated, resolved query: benchmarks interned, the
 // manager configuration canonicalized, and the routing/cache key built.
+// The key is bytes, not a string, so the wire path can stage it in
+// connection-owned scratch and the cache hit path never materializes a
+// string (map lookups convert without allocating).
 type decideQuery struct {
 	cfg    managerKey
 	slack  []float64 // nil for zero slack
 	ids    []simdb.BenchID
 	phases []int
-	key    string
+	key    []byte
+}
+
+// clone deep-copies the query so it can outlive the buffers it was
+// resolved into — what the cache does before retaining a wire-path query
+// whose slices alias per-connection scratch. The key is not copied: a
+// cached entry owns its key as a string.
+func (q *decideQuery) clone() *decideQuery {
+	c := &decideQuery{cfg: q.cfg}
+	if q.slack != nil {
+		c.slack = append([]float64(nil), q.slack...)
+	}
+	c.ids = append([]simdb.BenchID(nil), q.ids...)
+	c.phases = append([]int(nil), q.phases...)
+	return c
 }
 
 // managerKey identifies one manager configuration in a shard's pool.
@@ -134,13 +150,16 @@ type managerKey struct {
 }
 
 // task is one unit of work in flight through a shard: a decide query
-// (q/res/wg set) or a self-audit request (audit set).
+// (q/res/wg set) or a self-audit request (audit set). ephemeral marks a
+// query resolved into connection-owned scratch (the wire path): the
+// worker must clone it before the cache may retain it.
 type task struct {
-	q     *decideQuery
-	sn    *snapshot
-	res   *decideResult
-	wg    *sync.WaitGroup
-	audit *auditTask
+	q         *decideQuery
+	sn        *snapshot
+	res       *decideResult
+	wg        *sync.WaitGroup
+	audit     *auditTask
+	ephemeral bool
 }
 
 // shard owns a partition of the decision key space.
@@ -162,9 +181,11 @@ type shard struct {
 	statPtrs []*core.IntervalStats
 
 	// Counters, read by healthz and /metrics concurrently with the worker.
-	tasks   atomic.Uint64
-	hits    atomic.Uint64
-	batches atomic.Uint64
+	tasks      atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	admRejects atomic.Uint64
+	batches    atomic.Uint64
 }
 
 // adopt rebuilds the shard-local derived state for a snapshot: a fresh
@@ -258,21 +279,6 @@ func resolveQuery(sn *snapshot, q *DecideQuery) (*decideQuery, error) {
 		ids:    make([]simdb.BenchID, n),
 		phases: make([]int, n),
 	}
-	var key strings.Builder
-	key.Grow(64)
-	key.WriteString(strconv.Itoa(int(scheme)))
-	key.WriteByte('/')
-	key.WriteString(strconv.Itoa(int(model)))
-	key.WriteByte('/')
-	slackKey := ""
-	if slack != nil {
-		parts := make([]string, n)
-		for i, v := range slack {
-			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
-		}
-		slackKey = strings.Join(parts, ",")
-	}
-	key.WriteString(slackKey)
 	for i, app := range q.Apps {
 		id, ok := db.BenchIDOf(app.Bench)
 		if !ok {
@@ -284,21 +290,50 @@ func resolveQuery(sn *snapshot, q *DecideQuery) (*decideQuery, error) {
 		}
 		rq.ids[i] = id
 		rq.phases[i] = app.Phase
-		key.WriteByte('|')
-		key.WriteString(strconv.Itoa(int(id)))
-		key.WriteByte(':')
-		key.WriteString(strconv.Itoa(app.Phase))
 	}
-	rq.cfg = managerKey{scheme: scheme, model: model, slackKey: slackKey}
-	rq.key = key.String()
+	rq.cfg = managerKey{scheme: scheme, model: model, slackKey: slackKeyOf(slack)}
+	rq.key = appendQueryKey(make([]byte, 0, 64), rq.cfg, rq.ids, rq.phases)
 	return rq, nil
 }
 
-// shardOf routes a canonical key to its owning shard.
-func (s *Server) shardOf(key string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(key)) //nolint:errcheck // fnv cannot fail
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+// slackKeyOf renders the canonical slack-vector key ("" for all-zero) —
+// one rendering shared by the JSON and wire paths, so both resolve to
+// the same manager pool entries and cache keys.
+func slackKeyOf(slack []float64) string {
+	if slack == nil {
+		return ""
+	}
+	parts := make([]string, len(slack))
+	for i, v := range slack {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// appendQueryKey appends the canonical routing/cache key of one resolved
+// query. JSON and wire queries with the same semantics produce the same
+// bytes: that is what lets the two codecs share shard placement, cached
+// decisions and audit coverage.
+func appendQueryKey(dst []byte, cfg managerKey, ids []simdb.BenchID, phases []int) []byte {
+	dst = strconv.AppendInt(dst, int64(cfg.scheme), 10)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(cfg.model), 10)
+	dst = append(dst, '/')
+	dst = append(dst, cfg.slackKey...)
+	for i, id := range ids {
+		dst = append(dst, '|')
+		dst = strconv.AppendInt(dst, int64(id), 10)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(phases[i]), 10)
+	}
+	return dst
+}
+
+// shardOf routes a canonical key to its owning shard. The inlined
+// keyHash replaces the old hash.Hash32 construction, which allocated on
+// every fan-out.
+func (s *Server) shardOf(key []byte) *shard {
+	return s.shards[uint32(keyHash(key))%uint32(len(s.shards))]
 }
 
 // FillOracleStats fills st with the perfect interval statistics of one
@@ -425,12 +460,22 @@ func (sh *shard) process(t task) {
 			return
 		}
 	}
-	if res, ok := sh.lru.get(t.q.key); ok {
+	h := keyHash(t.q.key)
+	if res, ok := sh.lru.get(t.q.key, h); ok {
 		sh.hits.Add(1)
 		*t.res = res
 	} else {
+		sh.misses.Add(1)
 		res := sh.compute(t.q)
-		sh.lru.add(t.q.key, t.q, res)
+		if sh.lru.admit(h) {
+			q := t.q
+			if t.ephemeral {
+				q = q.clone()
+			}
+			sh.lru.add(t.q.key, h, q, res)
+		} else if sh.srv.opt.CacheSize > 0 {
+			sh.admRejects.Add(1)
+		}
 		*t.res = res
 	}
 	t.wg.Done()
@@ -465,25 +510,37 @@ func (sh *shard) run() {
 // accepted task is always drained and wg.Wait cannot strand the handler;
 // after Close, requests fail fast instead of queueing into dead shards.
 func (s *Server) decide(sn *snapshot, queries []*decideQuery) ([]decideResult, error) {
+	results := make([]decideResult, len(queries))
+	if err := s.decideInto(sn, queries, results, false); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// decideInto is decide with caller-owned result storage: results[i]
+// receives the answer to queries[i]. The binary path calls it with
+// per-connection scratch (and ephemeral=true, because those queries
+// alias connection buffers the cache must not retain), which is what
+// keeps a steady-state wire decision free of per-request allocation.
+func (s *Server) decideInto(sn *snapshot, queries []*decideQuery, results []decideResult, ephemeral bool) error {
 	start := time.Now()
 	s.stateMu.RLock()
 	defer s.stateMu.RUnlock()
 	if s.closed {
-		return nil, errServerClosed
+		return errServerClosed
 	}
 	if s.draining.Load() {
-		return nil, errDraining
+		return errDraining
 	}
-	results := make([]decideResult, len(queries))
 	var wg sync.WaitGroup
 	wg.Add(len(queries))
 	for i, q := range queries {
-		s.shardOf(q.key).ch <- task{q: q, sn: sn, res: &results[i], wg: &wg}
+		s.shardOf(q.key).ch <- task{q: q, sn: sn, res: &results[i], wg: &wg, ephemeral: ephemeral}
 	}
 	wg.Wait()
 	s.metrics.decideSeconds.Observe(time.Since(start).Seconds())
 	s.metrics.decideBatch.Observe(float64(len(queries)))
-	return results, nil
+	return nil
 }
 
 // settingsJSON renders per-core settings on the wire, resolving frequency

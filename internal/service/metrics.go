@@ -68,6 +68,12 @@ func (s *Server) initMetrics() {
 		r.CounterFunc("qosrmad_decide_cache_hits_total",
 			"Decide queries answered from the shard's LRU, per shard.", lbl,
 			func() float64 { return float64(sh.hits.Load()) })
+		r.CounterFunc("qosrmad_decide_cache_misses_total",
+			"Decide queries computed because the shard's LRU missed, per shard.", lbl,
+			func() float64 { return float64(sh.misses.Load()) })
+		r.CounterFunc("qosrmad_decide_admission_rejected_total",
+			"Computed decisions the TinyLFU admission filter kept out of the shard's LRU, per shard.", lbl,
+			func() float64 { return float64(sh.admRejects.Load()) })
 		r.CounterFunc("qosrmad_decide_batches_total",
 			"Shard worker wakeups (micro-batches drained), per shard.", lbl,
 			func() float64 { return float64(sh.batches.Load()) })
@@ -94,6 +100,22 @@ func (s *Server) initMetrics() {
 
 	m.scoreRequests = r.Counter("qosrmad_score_requests_total",
 		"Score requests served.", "")
+
+	r.CounterFunc("qosrmad_wire_connections_total",
+		"Binary-protocol connections accepted.", "",
+		func() float64 { return float64(s.wire.conns.Load()) })
+	r.GaugeFunc("qosrmad_wire_open_connections",
+		"Binary-protocol connections currently open.", "",
+		func() float64 { return float64(s.wire.open.Load()) })
+	r.CounterFunc("qosrmad_wire_frames_total",
+		"Binary-protocol frames decoded (any type).", "",
+		func() float64 { return float64(s.wire.frames.Load()) })
+	r.CounterFunc("qosrmad_wire_queries_total",
+		"Decide queries answered over the binary protocol.", "",
+		func() float64 { return float64(s.wire.queries.Load()) })
+	r.CounterFunc("qosrmad_wire_decode_errors_total",
+		"Malformed or unframeable binary-protocol input events.", "",
+		func() float64 { return float64(s.wire.decodeErrs.Load()) })
 
 	for _, state := range []string{"running", "done", "failed"} {
 		state := state

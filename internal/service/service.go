@@ -27,6 +27,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"runtime"
 	"sync"
@@ -130,6 +131,15 @@ type Server struct {
 	stateMu sync.RWMutex
 	closed  bool
 
+	// Binary serving path (wireserver.go): counters plus the listener and
+	// connection sets Close tears down. wireDone refuses registration once
+	// the server has closed.
+	wire      wireStats
+	wireMu    sync.Mutex
+	wireLns   map[net.Listener]struct{}
+	wireConns map[net.Conn]struct{}
+	wireDone  bool
+
 	// draining refuses new decide/score/sweep work during Shutdown while
 	// status endpoints keep answering; jobMu serializes the draining flag
 	// against sweep-job registration so Shutdown's jobWG.Wait is sound.
@@ -229,6 +239,7 @@ func (s *Server) Close() {
 	}
 	s.stateMu.Unlock()
 	s.checker.Stop()
+	s.closeWire()
 }
 
 // Shutdown gracefully drains the server: new decide/score/sweep requests
@@ -310,12 +321,21 @@ type HealthStats struct {
 	DBGen     uint64  `json:"db_generation"`
 
 	Decide struct {
-		Queries     uint64 `json:"queries"`
-		CacheHits   uint64 `json:"cache_hits"`
-		Batches     uint64 `json:"batches"`
-		Shards      int    `json:"shards"`
-		CacheBounds int    `json:"cache_capacity_per_shard"`
+		Queries           uint64 `json:"queries"`
+		CacheHits         uint64 `json:"cache_hits"`
+		CacheMisses       uint64 `json:"cache_misses"`
+		AdmissionRejected uint64 `json:"admission_rejected"`
+		Batches           uint64 `json:"batches"`
+		Shards            int    `json:"shards"`
+		CacheBounds       int    `json:"cache_capacity_per_shard"`
 	} `json:"decide"`
+	Wire struct {
+		Connections     uint64 `json:"connections"`
+		OpenConnections int64  `json:"open_connections"`
+		Frames          uint64 `json:"frames"`
+		Queries         uint64 `json:"queries"`
+		DecodeErrors    uint64 `json:"decode_errors"`
+	} `json:"wire"`
 	Score struct {
 		Requests uint64 `json:"requests"`
 	} `json:"score"`
@@ -353,10 +373,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, sh := range s.shards {
 		h.Decide.Queries += sh.tasks.Load()
 		h.Decide.CacheHits += sh.hits.Load()
+		h.Decide.CacheMisses += sh.misses.Load()
+		h.Decide.AdmissionRejected += sh.admRejects.Load()
 		h.Decide.Batches += sh.batches.Load()
 	}
 	h.Decide.Shards = len(s.shards)
 	h.Decide.CacheBounds = s.opt.CacheSize
+	h.Wire.Connections = s.wire.conns.Load()
+	h.Wire.OpenConnections = s.wire.open.Load()
+	h.Wire.Frames = s.wire.frames.Load()
+	h.Wire.Queries = s.wire.queries.Load()
+	h.Wire.DecodeErrors = s.wire.decodeErrs.Load()
 	h.Score.Requests = s.metrics.scoreRequests.Value()
 	h.Sweep.Jobs = s.jobs.count()
 	h.Sweep.CacheHits, h.Sweep.CacheMisses = s.engine.Cache().Stats()

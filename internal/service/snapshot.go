@@ -13,6 +13,7 @@ package service
 
 import (
 	"errors"
+	"strconv"
 	"time"
 
 	"qosrma/internal/simdb"
@@ -28,8 +29,11 @@ type snapshot struct {
 	// scorer is the collocation scorer memoized against db.
 	scorer *scoreState
 	// hash is db.Fingerprint(): the content version served in /v1/meta,
-	// /admin/status and the qosrmad_snapshot_info metric.
-	hash string
+	// /admin/status and the qosrmad_snapshot_info metric. hash64 is the
+	// same fingerprint as the integer the binary protocol carries (wire
+	// Meta frames advertise it; DecideRequest frames may pin it).
+	hash   string
+	hash64 uint64
 	// source describes where the database came from ("built", a file
 	// path, "reload", ...), for operators reading /admin/status.
 	source string
@@ -43,11 +47,17 @@ var errNoReloader = errors.New("service: no reload source configured (pass {\"pa
 
 // newSnapshot assembles a snapshot and assigns it the next generation.
 func (s *Server) newSnapshot(db *simdb.DB, source string) *snapshot {
+	hash := db.Fingerprint()
+	// Fingerprint renders a 64-bit FNV as %016x; recover the integer for
+	// the binary protocol. The parse cannot fail on a well-formed
+	// fingerprint, and a zero is simply never matched by clients.
+	h64, _ := strconv.ParseUint(hash, 16, 64)
 	return &snapshot{
 		gen:    s.gen.Add(1),
 		db:     db,
 		scorer: newScoreState(db),
-		hash:   db.Fingerprint(),
+		hash:   hash,
+		hash64: h64,
 		source: source,
 		loaded: time.Now(),
 	}

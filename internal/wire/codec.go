@@ -1,0 +1,560 @@
+// Package wire is qosrmad's compact binary protocol for the decide hot
+// path: versioned, length-prefixed, little-endian frames carrying
+// fixed-width co-phase vectors with interned benchmark and scheme IDs.
+// It exists because the JSON path spends most of one core marshalling;
+// the binary framing decodes in a few nanoseconds per query and the
+// decoder is zero-copy — Reader.Next yields the frame payload straight
+// out of the connection read buffer (bufio Peek/Discard, no staging
+// copy), and the Parse* functions scan that payload into caller-owned
+// scratch structs, so the steady-state decode performs no allocation at
+// all (pinned by TestDecodeZeroAlloc and BenchmarkWireDecode).
+//
+// Frame layout (all integers little-endian):
+//
+//	u32 payloadLen   bytes following the 6-byte header (≤ MaxPayload)
+//	u8  version      currently 1; other values fail the connection
+//	u8  type         Type* constant
+//	... payloadLen bytes of payload
+//
+// Protocol: a client may send Hello (empty payload) and receives Meta —
+// the serving database's content hash, core count and interned benchmark
+// table — making the wire port self-describing; DecideRequest frames
+// carry a micro-batch of co-phase queries under one manager
+// configuration and are answered by an equal-arity DecideResponse (Seq
+// echoed) or by an Error frame. Malformed payloads inside a well-formed
+// frame answer Error and the connection continues; an unframeable stream
+// (bad version, oversized length) answers Error and the connection
+// closes, since resynchronization is impossible. Error signalling,
+// versioning rules and the exact byte layouts are specified for clients
+// in docs/api.md ("Binary wire protocol").
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// floatBits/floatFrom name the f64 wire representation in one place.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
+
+// Version is the only frame version this package speaks.
+const Version = 1
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 6
+
+// MaxPayload bounds a frame's declared payload length. A header
+// declaring more is unrecoverable (the stream cannot be resynchronized)
+// and must close the connection.
+const MaxPayload = 1 << 20
+
+// MaxQueries bounds the co-phase queries one DecideRequest may carry.
+const MaxQueries = 4096
+
+// MaxCores bounds the per-query co-phase vector width.
+const MaxCores = 64
+
+// Frame types.
+const (
+	// TypeHello (client→server, empty payload) requests a Meta frame.
+	TypeHello = 0x01
+	// TypeMeta (server→client) describes the serving database.
+	TypeMeta = 0x02
+	// TypeDecideRequest (client→server) is a micro-batch of decide
+	// queries under one manager configuration.
+	TypeDecideRequest = 0x03
+	// TypeDecideResponse (server→client) answers a DecideRequest.
+	TypeDecideResponse = 0x04
+	// TypeError (server→client) reports a per-frame or fatal error.
+	TypeError = 0x05
+)
+
+// Error frame codes.
+const (
+	// ErrCodeMalformed: the payload did not parse or failed validation.
+	ErrCodeMalformed = 1
+	// ErrCodeStaleDB: the request's DBHash does not match the serving
+	// snapshot (the client should refresh via Hello/Meta).
+	ErrCodeStaleDB = 2
+	// ErrCodeTooLarge: the declared payload exceeds MaxPayload (fatal —
+	// the server closes the connection after sending this).
+	ErrCodeTooLarge = 3
+	// ErrCodeUnavailable: the server is draining or closed.
+	ErrCodeUnavailable = 4
+	// ErrCodeUnsupported: unknown frame version or type (version
+	// mismatches are fatal).
+	ErrCodeUnsupported = 5
+)
+
+// DecideRequest flag bits.
+const (
+	// FlagSlackUniform: one f64 QoS slack applied to every core.
+	FlagSlackUniform = 1 << 0
+	// FlagSlackPerCore: NCores f64 slacks, one per core.
+	FlagSlackPerCore = 1 << 1
+)
+
+// ErrMalformed is wrapped by every payload parse/validation error, so
+// connection loops can distinguish recoverable frame errors (answer an
+// Error frame, keep the connection) from I/O failure.
+var ErrMalformed = errors.New("wire: malformed payload")
+
+// ErrVersion reports a frame header with an unsupported version byte.
+// Fatal: the stream cannot be assumed framable beyond this point.
+var ErrVersion = errors.New("wire: unsupported frame version")
+
+// ErrTooLarge reports a frame header declaring a payload beyond
+// MaxPayload. Fatal for the same reason as ErrVersion.
+var ErrTooLarge = errors.New("wire: frame exceeds MaxPayload")
+
+// App is one core's occupant in a co-phase vector: an interned benchmark
+// ID (the database's simdb.BenchID) and a phase index.
+type App struct {
+	Bench uint16
+	Phase uint16
+}
+
+// Setting is one core's decided allocation on the wire: the core-size
+// enum, the DVFS table index and the LLC way count, each one byte.
+type Setting struct {
+	Size uint8
+	Freq uint8
+	Ways uint8
+}
+
+// DecideRequest is the decoded form of a TypeDecideRequest payload. The
+// slices are caller-owned scratch: ParseDecideRequest reuses their
+// backing arrays across frames, so a steady-state connection loop
+// decodes without allocating.
+type DecideRequest struct {
+	// Seq is echoed verbatim in the matching DecideResponse or Error.
+	Seq uint32
+	// DBHash is the database fingerprint the client's interned IDs were
+	// resolved against; zero skips the check (the server then answers
+	// against whatever snapshot is current).
+	DBHash uint64
+	// Scheme is the interned scheme ID (core.Scheme's numeric value).
+	Scheme uint8
+	// Model is the analytical model (1..3); 0 picks the scheme default.
+	Model uint8
+	// Flags is the FlagSlack* bit set (at most one may be set).
+	Flags uint8
+	// NCores is the co-phase vector width (must match the database).
+	NCores uint8
+	// Slack is the uniform QoS slack (valid when FlagSlackUniform).
+	Slack float64
+	// Slacks is the per-core slack vector (valid when FlagSlackPerCore).
+	Slacks []float64
+	// Apps holds Count() consecutive co-phase vectors, NCores entries
+	// each.
+	Apps []App
+}
+
+// Count returns the number of co-phase queries in the request.
+func (r *DecideRequest) Count() int {
+	if r.NCores == 0 {
+		return 0
+	}
+	return len(r.Apps) / int(r.NCores)
+}
+
+// DecideResponse is the decoded form of a TypeDecideResponse payload.
+// Decided and Settings are caller-owned scratch like DecideRequest's
+// slices; Settings holds len(Decided) consecutive per-core vectors.
+type DecideResponse struct {
+	Seq      uint32
+	NCores   uint8
+	Decided  []bool
+	Settings []Setting
+}
+
+// MetaBench is one interned benchmark in a Meta frame.
+type MetaBench struct {
+	ID     uint16
+	Phases uint16
+	Name   string
+}
+
+// Meta is the decoded form of a TypeMeta payload: what a client needs to
+// build valid DecideRequests (and to detect hot-swaps by DBHash drift).
+type Meta struct {
+	DBHash  uint64
+	NCores  uint8
+	Benches []MetaBench
+}
+
+// Reader frames a connection's byte stream. Next returns payloads that
+// alias the internal buffer: a payload is valid only until the following
+// Next call (the connection loop's natural decode-then-respond rhythm).
+type Reader struct {
+	br *bufio.Reader
+	// pending is the tail of the previous frame still to be discarded
+	// from br — deferred so the previous payload stays valid until Next.
+	pending int
+	// big stages payloads larger than br's buffer (rare; never on the
+	// steady decide path with the default sizes).
+	big []byte
+}
+
+// NewReader frames r with a 64 KiB buffer — larger than any decide
+// frame the stock clients send, so the steady path stays zero-copy.
+func NewReader(r io.Reader) *Reader { return NewReaderSize(r, 64<<10) }
+
+// NewReaderSize frames r with a caller-chosen buffer size (≥ HeaderSize).
+func NewReaderSize(r io.Reader, size int) *Reader {
+	if size < 512 {
+		size = 512
+	}
+	return &Reader{br: bufio.NewReaderSize(r, size)}
+}
+
+// Next reads one frame header and returns the frame type and payload.
+// The payload aliases the read buffer and is invalidated by the next
+// call. Errors: io errors from the stream (io.EOF cleanly between
+// frames, io.ErrUnexpectedEOF inside one), ErrVersion and ErrTooLarge
+// (both fatal to the connection).
+func (r *Reader) Next() (typ byte, payload []byte, err error) {
+	if r.pending > 0 {
+		if _, err := r.br.Discard(r.pending); err != nil {
+			return 0, nil, err
+		}
+		r.pending = 0
+	}
+	hdr, err := r.br.Peek(HeaderSize)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
+	ver := hdr[4]
+	typ = hdr[5]
+	if ver != Version {
+		return typ, nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, ver, Version)
+	}
+	if n > MaxPayload {
+		return typ, nil, fmt.Errorf("%w: %d bytes declared", ErrTooLarge, n)
+	}
+	if _, err := r.br.Discard(HeaderSize); err != nil {
+		return 0, nil, err
+	}
+	if n == 0 {
+		return typ, nil, nil
+	}
+	if n <= r.br.Size() {
+		payload, err = r.br.Peek(n)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, err
+		}
+		r.pending = n
+		return typ, payload, nil
+	}
+	// Oversized-for-the-buffer (still ≤ MaxPayload): stage a copy.
+	if cap(r.big) < n {
+		r.big = make([]byte, n)
+	}
+	r.big = r.big[:n]
+	if _, err := io.ReadFull(r.br, r.big); err != nil {
+		return 0, nil, err
+	}
+	return typ, r.big, nil
+}
+
+// AppendHeader appends a frame header for a payload of payloadLen bytes.
+func AppendHeader(dst []byte, typ byte, payloadLen int) []byte {
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(payloadLen))
+	hdr[4] = Version
+	hdr[5] = typ
+	return append(dst, hdr[:]...)
+}
+
+// AppendHello appends a complete Hello frame.
+func AppendHello(dst []byte) []byte { return AppendHeader(dst, TypeHello, 0) }
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// decideRequestLen is the payload length of an encoded request.
+func decideRequestLen(r *DecideRequest) int {
+	n := 18 + 4*len(r.Apps)
+	switch {
+	case r.Flags&FlagSlackUniform != 0:
+		n += 8
+	case r.Flags&FlagSlackPerCore != 0:
+		n += 8 * int(r.NCores)
+	}
+	return n
+}
+
+// AppendDecideRequest appends a complete DecideRequest frame (header
+// included). Encoding into a reused dst performs no allocation.
+func AppendDecideRequest(dst []byte, r *DecideRequest) []byte {
+	dst = AppendHeader(dst, TypeDecideRequest, decideRequestLen(r))
+	dst = appendU32(dst, r.Seq)
+	dst = appendU64(dst, r.DBHash)
+	dst = append(dst, r.Scheme, r.Model, r.Flags, r.NCores)
+	dst = appendU16(dst, uint16(r.Count()))
+	switch {
+	case r.Flags&FlagSlackUniform != 0:
+		dst = appendU64(dst, floatBits(r.Slack))
+	case r.Flags&FlagSlackPerCore != 0:
+		for i := 0; i < int(r.NCores); i++ {
+			dst = appendU64(dst, floatBits(r.Slacks[i]))
+		}
+	}
+	for _, a := range r.Apps {
+		dst = appendU16(dst, a.Bench)
+		dst = appendU16(dst, a.Phase)
+	}
+	return dst
+}
+
+// ParseDecideRequest decodes a TypeDecideRequest payload into req,
+// reusing req's slice capacity. All errors wrap ErrMalformed.
+func ParseDecideRequest(p []byte, req *DecideRequest) error {
+	if len(p) < 18 {
+		return fmt.Errorf("%w: request payload of %d bytes is shorter than the fixed 18-byte prefix", ErrMalformed, len(p))
+	}
+	req.Seq = binary.LittleEndian.Uint32(p)
+	req.DBHash = binary.LittleEndian.Uint64(p[4:])
+	req.Scheme = p[12]
+	req.Model = p[13]
+	req.Flags = p[14]
+	req.NCores = p[15]
+	count := int(binary.LittleEndian.Uint16(p[16:]))
+	p = p[18:]
+
+	if req.Flags&^uint8(FlagSlackUniform|FlagSlackPerCore) != 0 {
+		return fmt.Errorf("%w: unknown flag bits %#x", ErrMalformed, req.Flags)
+	}
+	if req.Flags&FlagSlackUniform != 0 && req.Flags&FlagSlackPerCore != 0 {
+		return fmt.Errorf("%w: both slack flags set", ErrMalformed)
+	}
+	n := int(req.NCores)
+	if n == 0 || n > MaxCores {
+		return fmt.Errorf("%w: ncores %d (want 1..%d)", ErrMalformed, n, MaxCores)
+	}
+	if count == 0 || count > MaxQueries {
+		return fmt.Errorf("%w: query count %d (want 1..%d)", ErrMalformed, count, MaxQueries)
+	}
+
+	req.Slack = 0
+	req.Slacks = req.Slacks[:0]
+	switch {
+	case req.Flags&FlagSlackUniform != 0:
+		if len(p) < 8 {
+			return fmt.Errorf("%w: truncated uniform slack", ErrMalformed)
+		}
+		req.Slack = floatFrom(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+	case req.Flags&FlagSlackPerCore != 0:
+		if len(p) < 8*n {
+			return fmt.Errorf("%w: truncated per-core slacks (%d bytes for %d cores)", ErrMalformed, len(p), n)
+		}
+		req.Slacks = growFloats(req.Slacks, n)
+		for i := 0; i < n; i++ {
+			req.Slacks[i] = floatFrom(binary.LittleEndian.Uint64(p[8*i:]))
+		}
+		p = p[8*n:]
+	}
+
+	want := 4 * count * n
+	if len(p) != want {
+		return fmt.Errorf("%w: co-phase section is %d bytes, want %d (%d queries × %d cores)", ErrMalformed, len(p), want, count, n)
+	}
+	req.Apps = growApps(req.Apps, count*n)
+	for i := range req.Apps {
+		req.Apps[i] = App{
+			Bench: binary.LittleEndian.Uint16(p[4*i:]),
+			Phase: binary.LittleEndian.Uint16(p[4*i+2:]),
+		}
+	}
+	return nil
+}
+
+// AppendDecideResponse appends a complete DecideResponse frame.
+func AppendDecideResponse(dst []byte, r *DecideResponse) []byte {
+	count := len(r.Decided)
+	dst = AppendHeader(dst, TypeDecideResponse, 7+count*(1+3*int(r.NCores)))
+	dst = appendU32(dst, r.Seq)
+	dst = append(dst, r.NCores)
+	dst = appendU16(dst, uint16(count))
+	n := int(r.NCores)
+	for i := 0; i < count; i++ {
+		d := byte(0)
+		if r.Decided[i] {
+			d = 1
+		}
+		dst = append(dst, d)
+		for _, st := range r.Settings[i*n : (i+1)*n] {
+			dst = append(dst, st.Size, st.Freq, st.Ways)
+		}
+	}
+	return dst
+}
+
+// ParseDecideResponse decodes a TypeDecideResponse payload into resp,
+// reusing resp's slice capacity. All errors wrap ErrMalformed.
+func ParseDecideResponse(p []byte, resp *DecideResponse) error {
+	if len(p) < 7 {
+		return fmt.Errorf("%w: response payload of %d bytes is shorter than the fixed 7-byte prefix", ErrMalformed, len(p))
+	}
+	resp.Seq = binary.LittleEndian.Uint32(p)
+	resp.NCores = p[4]
+	count := int(binary.LittleEndian.Uint16(p[5:]))
+	p = p[7:]
+	n := int(resp.NCores)
+	if n == 0 || n > MaxCores {
+		return fmt.Errorf("%w: ncores %d (want 1..%d)", ErrMalformed, n, MaxCores)
+	}
+	if count > MaxQueries {
+		return fmt.Errorf("%w: result count %d exceeds %d", ErrMalformed, count, MaxQueries)
+	}
+	if len(p) != count*(1+3*n) {
+		return fmt.Errorf("%w: result section is %d bytes, want %d (%d results × %d cores)", ErrMalformed, len(p), count*(1+3*n), count, n)
+	}
+	resp.Decided = growBools(resp.Decided, count)
+	resp.Settings = growSettings(resp.Settings, count*n)
+	for i := 0; i < count; i++ {
+		resp.Decided[i] = p[0] != 0
+		p = p[1:]
+		for c := 0; c < n; c++ {
+			resp.Settings[i*n+c] = Setting{Size: p[0], Freq: p[1], Ways: p[2]}
+			p = p[3:]
+		}
+	}
+	return nil
+}
+
+// AppendError appends a complete Error frame.
+func AppendError(dst []byte, seq uint32, code byte, msg string) []byte {
+	if len(msg) > 1<<12 {
+		msg = msg[:1<<12]
+	}
+	dst = AppendHeader(dst, TypeError, 7+len(msg))
+	dst = appendU32(dst, seq)
+	dst = append(dst, code)
+	dst = appendU16(dst, uint16(len(msg)))
+	return append(dst, msg...)
+}
+
+// ParseError decodes a TypeError payload.
+func ParseError(p []byte) (seq uint32, code byte, msg string, err error) {
+	if len(p) < 7 {
+		return 0, 0, "", fmt.Errorf("%w: error payload of %d bytes is shorter than the fixed 7-byte prefix", ErrMalformed, len(p))
+	}
+	seq = binary.LittleEndian.Uint32(p)
+	code = p[4]
+	msgLen := int(binary.LittleEndian.Uint16(p[5:]))
+	if len(p) != 7+msgLen {
+		return 0, 0, "", fmt.Errorf("%w: error message is %d bytes, want %d", ErrMalformed, len(p)-7, msgLen)
+	}
+	return seq, code, string(p[7:]), nil
+}
+
+// AppendMeta appends a complete Meta frame.
+func AppendMeta(dst []byte, m *Meta) []byte {
+	n := 11
+	for _, b := range m.Benches {
+		n += 5 + len(b.Name)
+	}
+	dst = AppendHeader(dst, TypeMeta, n)
+	dst = appendU64(dst, m.DBHash)
+	dst = append(dst, m.NCores)
+	dst = appendU16(dst, uint16(len(m.Benches)))
+	for _, b := range m.Benches {
+		name := b.Name
+		if len(name) > 255 {
+			name = name[:255]
+		}
+		dst = appendU16(dst, b.ID)
+		dst = appendU16(dst, b.Phases)
+		dst = append(dst, byte(len(name)))
+		dst = append(dst, name...)
+	}
+	return dst
+}
+
+// ParseMeta decodes a TypeMeta payload into m (benchmark names are
+// copied out of the frame buffer — Meta outlives the read buffer).
+func ParseMeta(p []byte, m *Meta) error {
+	if len(p) < 11 {
+		return fmt.Errorf("%w: meta payload of %d bytes is shorter than the fixed 11-byte prefix", ErrMalformed, len(p))
+	}
+	m.DBHash = binary.LittleEndian.Uint64(p)
+	m.NCores = p[8]
+	nbench := int(binary.LittleEndian.Uint16(p[9:]))
+	p = p[11:]
+	m.Benches = m.Benches[:0]
+	for i := 0; i < nbench; i++ {
+		if len(p) < 5 {
+			return fmt.Errorf("%w: truncated benchmark entry %d", ErrMalformed, i)
+		}
+		b := MetaBench{
+			ID:     binary.LittleEndian.Uint16(p),
+			Phases: binary.LittleEndian.Uint16(p[2:]),
+		}
+		nameLen := int(p[4])
+		p = p[5:]
+		if len(p) < nameLen {
+			return fmt.Errorf("%w: truncated benchmark name %d", ErrMalformed, i)
+		}
+		b.Name = string(p[:nameLen])
+		p = p[nameLen:]
+		m.Benches = append(m.Benches, b)
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after benchmark table", ErrMalformed, len(p))
+	}
+	return nil
+}
+
+// growApps returns s resized to n entries, reusing capacity.
+func growApps(s []App, n int) []App {
+	if cap(s) < n {
+		return make([]App, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growSettings(s []Setting, n int) []Setting {
+	if cap(s) < n {
+		return make([]Setting, n)
+	}
+	return s[:n]
+}

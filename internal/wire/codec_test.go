@@ -1,0 +1,359 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// sampleRequest builds a representative request: 3 queries × 4 cores,
+// per-core slacks.
+func sampleRequest() *DecideRequest {
+	return &DecideRequest{
+		Seq:    7,
+		DBHash: 0xdeadbeefcafe,
+		Scheme: 3,
+		Model:  2,
+		Flags:  FlagSlackPerCore,
+		NCores: 4,
+		Slacks: []float64{0, 0.1, 0.2, 0.3},
+		Apps: []App{
+			{0, 0}, {1, 2}, {2, 1}, {3, 0},
+			{3, 3}, {2, 2}, {1, 1}, {0, 0},
+			{5, 0}, {5, 1}, {5, 2}, {5, 3},
+		},
+	}
+}
+
+// TestDecideRequestRoundTrip: encode → frame → decode reproduces the
+// request exactly, for every slack mode.
+func TestDecideRequestRoundTrip(t *testing.T) {
+	cases := map[string]*DecideRequest{
+		"per-core-slacks": sampleRequest(),
+		"uniform-slack": {
+			Seq: 1, Scheme: 0, Model: 0, Flags: FlagSlackUniform, Slack: 0.25,
+			NCores: 2, Apps: []App{{9, 9}, {8, 8}},
+		},
+		"no-slack": {
+			Seq: 0xffffffff, DBHash: 1, Scheme: 5, Model: 3,
+			NCores: 1, Apps: []App{{65535, 65535}},
+		},
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			frame := AppendDecideRequest(nil, in)
+			r := NewReader(bytes.NewReader(frame))
+			typ, payload, err := r.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if typ != TypeDecideRequest {
+				t.Fatalf("frame type %d, want %d", typ, TypeDecideRequest)
+			}
+			var out DecideRequest
+			if err := ParseDecideRequest(payload, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Seq != in.Seq || out.DBHash != in.DBHash || out.Scheme != in.Scheme ||
+				out.Model != in.Model || out.Flags != in.Flags || out.NCores != in.NCores ||
+				out.Slack != in.Slack {
+				t.Fatalf("scalar fields: got %+v want %+v", out, in)
+			}
+			if in.Flags&FlagSlackPerCore != 0 {
+				if len(out.Slacks) != len(in.Slacks) {
+					t.Fatalf("slacks %v want %v", out.Slacks, in.Slacks)
+				}
+				for i := range in.Slacks {
+					if out.Slacks[i] != in.Slacks[i] {
+						t.Fatalf("slacks %v want %v", out.Slacks, in.Slacks)
+					}
+				}
+			}
+			if len(out.Apps) != len(in.Apps) {
+				t.Fatalf("apps %v want %v", out.Apps, in.Apps)
+			}
+			for i := range in.Apps {
+				if out.Apps[i] != in.Apps[i] {
+					t.Fatalf("apps %v want %v", out.Apps, in.Apps)
+				}
+			}
+			if out.Count() != in.Count() {
+				t.Fatalf("count %d want %d", out.Count(), in.Count())
+			}
+		})
+	}
+}
+
+// TestDecideResponseRoundTrip: the response codec is exact too.
+func TestDecideResponseRoundTrip(t *testing.T) {
+	in := &DecideResponse{
+		Seq:     42,
+		NCores:  4,
+		Decided: []bool{true, false},
+		Settings: []Setting{
+			{2, 3, 9}, {1, 0, 2}, {0, 1, 3}, {2, 3, 2},
+			{1, 1, 4}, {1, 1, 4}, {1, 1, 4}, {1, 1, 4},
+		},
+	}
+	frame := AppendDecideResponse(nil, in)
+	r := NewReader(bytes.NewReader(frame))
+	typ, payload, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeDecideResponse {
+		t.Fatalf("frame type %d, want %d", typ, TypeDecideResponse)
+	}
+	var out DecideResponse
+	if err := ParseDecideResponse(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != in.Seq || out.NCores != in.NCores || len(out.Decided) != len(in.Decided) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	for i := range in.Decided {
+		if out.Decided[i] != in.Decided[i] {
+			t.Fatalf("decided %v want %v", out.Decided, in.Decided)
+		}
+	}
+	for i := range in.Settings {
+		if out.Settings[i] != in.Settings[i] {
+			t.Fatalf("settings %v want %v", out.Settings, in.Settings)
+		}
+	}
+}
+
+// TestErrorRoundTrip and TestMetaRoundTrip cover the control frames.
+func TestErrorRoundTrip(t *testing.T) {
+	frame := AppendError(nil, 9, ErrCodeStaleDB, "database swapped")
+	r := NewReader(bytes.NewReader(frame))
+	typ, payload, err := r.Next()
+	if err != nil || typ != TypeError {
+		t.Fatalf("typ %d err %v", typ, err)
+	}
+	seq, code, msg, err := ParseError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 9 || code != ErrCodeStaleDB || msg != "database swapped" {
+		t.Fatalf("got seq=%d code=%d msg=%q", seq, code, msg)
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	in := &Meta{
+		DBHash: 123456789,
+		NCores: 8,
+		Benches: []MetaBench{
+			{ID: 0, Phases: 4, Name: "mcf"},
+			{ID: 1, Phases: 7, Name: "astar"},
+		},
+	}
+	frame := AppendMeta(nil, in)
+	r := NewReader(bytes.NewReader(frame))
+	typ, payload, err := r.Next()
+	if err != nil || typ != TypeMeta {
+		t.Fatalf("typ %d err %v", typ, err)
+	}
+	var out Meta
+	if err := ParseMeta(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.DBHash != in.DBHash || out.NCores != in.NCores || len(out.Benches) != len(in.Benches) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	for i := range in.Benches {
+		if out.Benches[i] != in.Benches[i] {
+			t.Fatalf("benches %+v want %+v", out.Benches, in.Benches)
+		}
+	}
+}
+
+// TestReaderStream: several frames back to back through one Reader, with
+// payloads valid until the following Next — the connection loop's
+// contract.
+func TestReaderStream(t *testing.T) {
+	var stream []byte
+	stream = AppendHello(stream)
+	stream = AppendDecideRequest(stream, sampleRequest())
+	stream = AppendError(stream, 1, ErrCodeMalformed, "x")
+
+	r := NewReader(bytes.NewReader(stream))
+	typ, payload, err := r.Next()
+	if err != nil || typ != TypeHello || len(payload) != 0 {
+		t.Fatalf("hello: typ=%d len=%d err=%v", typ, len(payload), err)
+	}
+	typ, payload, err = r.Next()
+	if err != nil || typ != TypeDecideRequest {
+		t.Fatalf("request: typ=%d err=%v", typ, err)
+	}
+	var req DecideRequest
+	if err := ParseDecideRequest(payload, &req); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err = r.Next()
+	if err != nil || typ != TypeError {
+		t.Fatalf("error frame: typ=%d err=%v", typ, err)
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+// TestReaderRejectsBadFrames: version and size violations surface as the
+// fatal sentinel errors, truncation as ErrUnexpectedEOF, and a payload
+// larger than the reader's buffer still arrives intact (copy path).
+func TestReaderRejectsBadFrames(t *testing.T) {
+	good := AppendDecideRequest(nil, sampleRequest())
+
+	bad := append([]byte(nil), good...)
+	bad[4] = 99 // version byte
+	if _, _, err := NewReader(bytes.NewReader(bad)).Next(); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: got %v", err)
+	}
+
+	huge := AppendHeader(nil, TypeDecideRequest, MaxPayload+1)
+	if _, _, err := NewReader(bytes.NewReader(huge)).Next(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize: got %v", err)
+	}
+
+	if _, _, err := NewReader(bytes.NewReader(good[:3])).Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated header: got %v", err)
+	}
+	if _, _, err := NewReader(bytes.NewReader(good[:len(good)-1])).Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: got %v", err)
+	}
+
+	// Copy path: a frame bigger than the reader buffer parses identically.
+	big := sampleRequest()
+	big.Apps = make([]App, 300*4) // 4800-byte co-phase section > 512
+	for i := range big.Apps {
+		big.Apps[i] = App{Bench: uint16(i % 7), Phase: uint16(i % 3)}
+	}
+	frame := AppendDecideRequest(nil, big)
+	r := NewReaderSize(bytes.NewReader(frame), 512)
+	typ, payload, err := r.Next()
+	if err != nil || typ != TypeDecideRequest {
+		t.Fatalf("big frame: typ=%d err=%v", typ, err)
+	}
+	var out DecideRequest
+	if err := ParseDecideRequest(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Apps) != len(big.Apps) || out.Apps[len(out.Apps)-1] != big.Apps[len(big.Apps)-1] {
+		t.Fatal("big frame did not round-trip")
+	}
+}
+
+// TestParseRejectsMalformed: every validation failure answers a
+// recoverable ErrMalformed (never a panic) — the property the connection
+// loop's keep-alive error handling depends on.
+func TestParseRejectsMalformed(t *testing.T) {
+	base := sampleRequest()
+	frame := AppendDecideRequest(nil, base)
+	payload := frame[HeaderSize:]
+
+	mutations := map[string]func() []byte{
+		"empty":        func() []byte { return nil },
+		"short-prefix": func() []byte { return payload[:10] },
+		"both-slack-flags": func() []byte {
+			p := append([]byte(nil), payload...)
+			p[14] = FlagSlackUniform | FlagSlackPerCore
+			return p
+		},
+		"unknown-flag": func() []byte {
+			p := append([]byte(nil), payload...)
+			p[14] = 0x80
+			return p
+		},
+		"zero-cores": func() []byte {
+			p := append([]byte(nil), payload...)
+			p[15] = 0
+			return p
+		},
+		"huge-cores": func() []byte {
+			p := append([]byte(nil), payload...)
+			p[15] = 255
+			return p
+		},
+		"zero-count": func() []byte {
+			p := append([]byte(nil), payload...)
+			p[16], p[17] = 0, 0
+			return p
+		},
+		"truncated-apps": func() []byte { return payload[:len(payload)-3] },
+		"trailing-bytes": func() []byte { return append(append([]byte(nil), payload...), 0) },
+	}
+	for name, mut := range mutations {
+		t.Run(name, func(t *testing.T) {
+			var req DecideRequest
+			if err := ParseDecideRequest(mut(), &req); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("want ErrMalformed, got %v", err)
+			}
+		})
+	}
+
+	var resp DecideResponse
+	if err := ParseDecideResponse([]byte{1, 2}, &resp); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short response: %v", err)
+	}
+	var m Meta
+	if err := ParseMeta([]byte{1}, &m); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short meta: %v", err)
+	}
+	if _, _, _, err := ParseError([]byte{1}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short error: %v", err)
+	}
+}
+
+// TestDecodeZeroAlloc pins the headline property: decoding a steady
+// stream of decide frames — Reader framing plus payload parse into
+// reused scratch — allocates nothing per frame. This is the wire half of
+// the service's allocation-free hot path.
+func TestDecodeZeroAlloc(t *testing.T) {
+	req := sampleRequest()
+	frame := AppendDecideRequest(nil, req)
+	// One long stream of identical frames; the reader is primed outside
+	// the measured region so buffer growth is excluded.
+	const frames = 64
+	stream := bytes.Repeat(frame, frames)
+	var scratch DecideRequest
+	src := bytes.NewReader(stream)
+	r := NewReader(src)
+
+	i := 0
+	allocs := testing.AllocsPerRun(frames-1, func() {
+		typ, payload, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != TypeDecideRequest {
+			t.Fatalf("typ %d", typ)
+		}
+		if err := ParseDecideRequest(payload, &scratch); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state wire decode allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestEncodeZeroAlloc: the response encoder into a reused buffer is
+// allocation-free too.
+func TestEncodeZeroAlloc(t *testing.T) {
+	resp := &DecideResponse{
+		Seq: 1, NCores: 4,
+		Decided:  make([]bool, 256),
+		Settings: make([]Setting, 256*4),
+	}
+	buf := AppendDecideResponse(nil, resp) // prime capacity
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendDecideResponse(buf[:0], resp)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state wire encode allocates %.1f times per frame, want 0", allocs)
+	}
+}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode extends the service's fuzz wall to the binary codec: an
+// arbitrary byte stream fed through the frame reader and every payload
+// parser must never panic, and every failure must be one of the typed
+// outcomes the connection loop knows how to survive (io errors,
+// ErrVersion, ErrTooLarge, ErrMalformed) — malformed, truncated and
+// oversized frames are rejected, never crashes. The seed corpus covers
+// every frame type, both fatal header classes, truncations and a few
+// deliberately inconsistent payloads.
+func FuzzWireDecode(f *testing.F) {
+	// Well-formed frames of every type.
+	f.Add(AppendHello(nil))
+	f.Add(AppendDecideRequest(nil, sampleRequest()))
+	f.Add(AppendDecideRequest(nil, &DecideRequest{
+		Seq: 2, Flags: FlagSlackUniform, Slack: 0.2, NCores: 4,
+		Apps: []App{{1, 0}, {2, 1}, {3, 0}, {4, 2}},
+	}))
+	f.Add(AppendDecideResponse(nil, &DecideResponse{
+		Seq: 3, NCores: 2, Decided: []bool{true},
+		Settings: []Setting{{1, 2, 3}, {0, 0, 9}},
+	}))
+	f.Add(AppendError(nil, 1, ErrCodeMalformed, "bad"))
+	f.Add(AppendMeta(nil, &Meta{DBHash: 7, NCores: 4,
+		Benches: []MetaBench{{0, 3, "mcf"}}}))
+	// Several frames back to back.
+	f.Add(append(AppendHello(nil), AppendDecideRequest(nil, sampleRequest())...))
+	// Fatal headers: wrong version, oversized declaration.
+	bad := AppendHello(nil)
+	bad[4] = 2
+	f.Add(bad)
+	f.Add(AppendHeader(nil, TypeDecideRequest, MaxPayload+1))
+	// Truncations and garbage.
+	good := AppendDecideRequest(nil, sampleRequest())
+	f.Add(good[:HeaderSize+5])
+	f.Add(good[:len(good)-1])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	// Inconsistent payloads inside a well-formed frame.
+	inconsistent := append([]byte(nil), good...)
+	inconsistent[HeaderSize+15] = 0 // ncores = 0
+	f.Add(inconsistent)
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		var (
+			req  DecideRequest
+			resp DecideResponse
+			m    Meta
+		)
+		r := NewReaderSize(bytes.NewReader(stream), 512)
+		for frames := 0; frames < 64; frames++ {
+			typ, payload, err := r.Next()
+			if err != nil {
+				if errors.Is(err, ErrVersion) || errors.Is(err, ErrTooLarge) ||
+					err == io.EOF || err == io.ErrUnexpectedEOF {
+					return // the loop closes the connection: fine
+				}
+				t.Fatalf("unexpected reader error class: %v", err)
+			}
+			// Parse the payload as every type, not just the declared one:
+			// the parsers must be total functions of arbitrary bytes.
+			for _, parse := range []func([]byte) error{
+				func(p []byte) error { return ParseDecideRequest(p, &req) },
+				func(p []byte) error { return ParseDecideResponse(p, &resp) },
+				func(p []byte) error { return ParseMeta(p, &m) },
+				func(p []byte) error { _, _, _, err := ParseError(p); return err },
+			} {
+				if err := parse(payload); err != nil && !errors.Is(err, ErrMalformed) {
+					t.Fatalf("parse error outside ErrMalformed: %v (type %d)", err, typ)
+				}
+			}
+			// Whatever parsed must re-encode without panicking.
+			if err := ParseDecideRequest(payload, &req); err == nil {
+				AppendDecideRequest(nil, &req)
+			}
+			if err := ParseDecideResponse(payload, &resp); err == nil {
+				AppendDecideResponse(nil, &resp)
+			}
+		}
+	})
+}

@@ -26,7 +26,9 @@
 //     micro-batched HTTP/JSON server answering RMA decisions, collocation
 //     scores and async sweeps bit-identically to the library calls, with a
 //     live-ops control plane (Prometheus metrics, atomic database hot-swap,
-//     graceful drain, a bit-identity self-checker; see docs/operations.md) —
+//     graceful drain, a bit-identity self-checker; see docs/operations.md),
+//     a zero-copy binary decide protocol (internal/wire) and a
+//     consistent-hash routing tier for fleets (internal/route) —
 //     reachable through System.Serve / System.NewServer.
 //
 // The compiled-lattice design follows the thesis methodology (Figure 2.1)
@@ -51,6 +53,7 @@ package qosrma
 
 import (
 	"fmt"
+	"net"
 	"net/http"
 	"sync"
 	"time"
@@ -300,6 +303,11 @@ type Server = service.Server
 type ServeSpec struct {
 	// Addr is the listen address for Serve (e.g. ":8080").
 	Addr string
+	// WireAddr, when set, makes Serve also listen on this raw-TCP
+	// address with the compact binary decide protocol (internal/wire;
+	// spec in docs/api.md) — the same shard channels as the HTTP path,
+	// bit-identical answers, several times the JSON throughput.
+	WireAddr string
 	// Shards is the number of decision shards, each one worker goroutine
 	// owning its curve buffers, managers and LRU (default GOMAXPROCS,
 	// capped at 16).
@@ -351,12 +359,20 @@ func (s *System) NewServer(spec ServeSpec) *Server {
 	})
 }
 
-// Serve runs the decision service on spec.Addr until the listener fails.
-// This is the simple blocking entry point; cmd/qosrmad wraps NewServer in
-// its own http.Server for signal-driven reload and graceful drain.
+// Serve runs the decision service on spec.Addr until the listener fails,
+// adding a binary decide listener on spec.WireAddr when set. This is the
+// simple blocking entry point; cmd/qosrmad wraps NewServer in its own
+// http.Server for signal-driven reload and graceful drain.
 func (s *System) Serve(spec ServeSpec) error {
 	srv := s.NewServer(spec)
 	defer srv.Close()
+	if spec.WireAddr != "" {
+		ln, err := net.Listen("tcp", spec.WireAddr)
+		if err != nil {
+			return fmt.Errorf("wire listener: %w", err)
+		}
+		go srv.ServeWire(ln) //nolint:errcheck // returns nil on Close; Close tears it down
+	}
 	return http.ListenAndServe(spec.Addr, srv)
 }
 

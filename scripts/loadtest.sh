@@ -4,16 +4,20 @@
 # build and uploads the report (loadgen.txt) with the bench artifacts.
 #
 # Environment knobs:
-#   ADDR      listen address        (default 127.0.0.1:7743)
-#   DURATION  measured window       (default 2s)
-#   CONNS     client connections    (default 4)
-#   BATCH     queries per request   (default 256)
-#   MIN_QPS   throughput floor      (default 100000; 0 disables)
-#   OUT       report file           (default loadgen.txt)
+#   ADDR       listen address        (default 127.0.0.1:7743)
+#   WIRE       1 = drive the binary decide protocol instead of HTTP/JSON
+#   WIRE_ADDR  binary listen address (default 127.0.0.1:7744)
+#   DURATION   measured window       (default 2s)
+#   CONNS      client connections    (default 4)
+#   BATCH      queries per request   (default 256)
+#   MIN_QPS    throughput floor      (default 100000; 0 disables)
+#   OUT        report file           (default loadgen.txt)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=${ADDR:-127.0.0.1:7743}
+WIRE=${WIRE:-0}
+WIRE_ADDR=${WIRE_ADDR:-127.0.0.1:7744}
 DURATION=${DURATION:-2s}
 CONNS=${CONNS:-4}
 BATCH=${BATCH:-256}
@@ -24,12 +28,20 @@ mkdir -p bin
 go build -o bin/qosrmad ./cmd/qosrmad
 go build -o bin/loadgen ./cmd/loadgen
 
-bin/qosrmad -addr "$ADDR" &
+SRV_FLAGS=(-addr "$ADDR")
+GEN_FLAGS=(-addr "$ADDR")
+if [ "$WIRE" = "1" ]; then
+	SRV_FLAGS+=(-wire-addr "$WIRE_ADDR")
+	GEN_FLAGS=(-addr "$WIRE_ADDR" -wire)
+fi
+
+bin/qosrmad "${SRV_FLAGS[@]}" &
 SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
-# loadgen itself waits for /v1/meta (retrying for ~5s), so no sleep here.
-bin/loadgen -addr "$ADDR" -duration "$DURATION" -conns "$CONNS" \
+# loadgen itself waits for the server's meta (retrying for ~5s on either
+# protocol), so no sleep here.
+bin/loadgen "${GEN_FLAGS[@]}" -duration "$DURATION" -conns "$CONNS" \
 	-batch "$BATCH" -out "$OUT"
 
 # The measurement is only valid against the server we just started: if it
