@@ -24,7 +24,7 @@ MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulateP
 MICRO_FLAGS ?= -benchtime=0.2s -count=5
 
 .PHONY: all build test test-short lint bench benchbase benchdiff pprof example-cluster \
-	loadtest loadtest-wire determinism golden cover cover-check fuzz-smoke docs-check clean
+	loadtest loadtest-wire chaos determinism golden cover cover-check fuzz-smoke docs-check clean
 
 all: build lint test
 
@@ -83,6 +83,16 @@ loadtest:
 loadtest-wire:
 	WIRE=1 MIN_QPS=250000 OUT=loadgen.wire.txt ./scripts/loadtest.sh
 
+# The chaos wall: the seeded in-process fault-injection suite (real
+# servers behind deterministic fault proxies, routed on both codecs —
+# bit-identical answers under faults, bounded errors, eject/readmit on
+# kill/heal) plus a multi-process drill on this runner: four qosrmad
+# replicas behind a qosrmad -route tier, loadgen driving JSON and wire
+# through it while a backend is kill -9'd and restarted. Also the
+# ROADMAP's multi-process distributed loadtest target. Report: chaos.txt.
+chaos:
+	./scripts/chaos.sh
+
 # The byte-determinism wall, promoted to the per-push CI lane: the cluster
 # engine's emitter output across worker counts {1,4,GOMAXPROCS}, database
 # builds across worker counts, concurrent service batches vs sequential
@@ -130,6 +140,6 @@ pprof:
 	$(GO) tool pprof -top -nodecount=25 qosrma.test cpu.prof | tee pprof.txt
 
 clean:
-	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF) cpu.prof pprof.txt qosrma.test loadgen.txt loadgen.wire.txt
+	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF) cpu.prof pprof.txt qosrma.test loadgen.txt loadgen.wire.txt chaos.txt
 	rm -rf cover bin
 	$(GO) clean ./...

@@ -22,7 +22,9 @@
 //	-wire          the compact binary protocol (internal/wire) against a
 //	               qosrmad -wire-addr listener: one multiplexed TCP
 //	               connection per worker, queries interned against the
-//	               server's Meta frame (closed mode only)
+//	               server's Meta frame (closed mode only); lost
+//	               connections are re-dialled with jittered backoff and
+//	               the report counts them (reconnects=N)
 //
 // And multi-backend fan-out: -addrs takes a comma-separated server list;
 // workers are spread across the backends round-robin and the report
@@ -52,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qosrma/internal/resilience"
 	"qosrma/internal/stats"
 	"qosrma/internal/wire"
 	"qosrma/internal/workload"
@@ -122,11 +125,12 @@ func main() {
 	}
 
 	var (
-		sent    atomic.Int64 // batches completed
-		errs    atomic.Int64
-		drained atomic.Int64 // batches refused because the server is draining
-		latMu   sync.Mutex
-		lats    []time.Duration
+		sent       atomic.Int64 // batches completed
+		errs       atomic.Int64
+		drained    atomic.Int64 // batches refused because the server is draining
+		reconnects atomic.Int64 // wire connections re-established after a failure
+		latMu      sync.Mutex
+		lats       []time.Duration
 	)
 	record := func(d time.Duration) {
 		latMu.Lock()
@@ -143,7 +147,7 @@ func main() {
 			os.Exit(1)
 		}
 		elapsed = runWire(targets, *duration, *conns, *batch, *seed, *scheme, *slack,
-			*population, &sent, &errs, &drained, record)
+			*population, &sent, &errs, &drained, &reconnects, record)
 	} else {
 		elapsed = runJSON(targets, *mode, *duration, *conns, *batch, *rate, *seed,
 			*scheme, *slack, *population, &sent, &errs, &drained, record)
@@ -161,10 +165,10 @@ func main() {
 	qps := float64(batches) * float64(*batch) / elapsed.Seconds()
 	report := fmt.Sprintf(
 		"loadgen: proto=%s mode=%s backends=%d conns=%d batch=%d population=%d seed=%d duration=%.2fs\n"+
-			"queries=%d qps=%.0f batches=%d errors=%d drained=%d\n"+
+			"queries=%d qps=%.0f batches=%d errors=%d drained=%d reconnects=%d\n"+
 			"batch latency ms: p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f max=%.3f\n",
 		proto, *mode, len(targets), *conns, *batch, *population, *seed, elapsed.Seconds(),
-		batches*int64(*batch), qps, batches, errs.Load(), drained.Load(),
+		batches*int64(*batch), qps, batches, errs.Load(), drained.Load(), reconnects.Load(),
 		pct(0.50), pct(0.90), pct(0.99), pct(0.999), pct(1.0))
 	fmt.Print(report)
 	if *out != "" {
@@ -334,7 +338,7 @@ func runJSON(targets []string, mode string, duration time.Duration, conns, batch
 // stream as the JSON path.
 func runWire(targets []string, duration time.Duration, conns, batch int,
 	seed uint64, scheme string, slack float64, population int,
-	sent, errs, drained *atomic.Int64, record func(time.Duration)) time.Duration {
+	sent, errs, drained, reconnects *atomic.Int64, record func(time.Duration)) time.Duration {
 	schemeID, ok := schemeIDs[strings.ToLower(scheme)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "loadgen: -wire needs a canonical scheme name (static, dvfs, rm1, rm2, rm3, ucp), got %q\n", scheme)
@@ -400,45 +404,81 @@ func runWire(targets []string, duration time.Duration, conns, batch int,
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			conn, err := net.Dial("tcp", targets[c%len(targets)])
-			if err != nil {
-				errs.Add(1)
-				return
+			target := targets[c%len(targets)]
+			// Connection loss is a normal event when the server restarts or
+			// a chaos proxy resets the link: the worker reconnects with
+			// seeded jittered backoff and the run reports the count, rather
+			// than abandoning the worker on the first broken pipe.
+			bo := resilience.Backoff{Base: 20 * time.Millisecond, Max: 500 * time.Millisecond}
+			rnd := stats.NewRNG(stats.SeedFrom(seed, fmt.Sprintf("loadgen/reconnect/%d", c)))
+			var conn net.Conn
+			var r *wire.Reader
+			fails := 0
+			lose := func() {
+				if conn != nil {
+					conn.Close()
+					conn = nil
+				}
+				reconnects.Add(1)
+				fails++
 			}
-			defer conn.Close()
-			r := wire.NewReader(conn)
+			defer func() {
+				if conn != nil {
+					conn.Close()
+				}
+			}()
 			var resp wire.DecideResponse
 			for i := c; time.Now().Before(deadline); i++ {
+				if conn == nil {
+					if fails > 0 {
+						time.Sleep(bo.Delay(fails-1, rnd.Float64))
+						if !time.Now().Before(deadline) {
+							return
+						}
+					}
+					nc, err := net.DialTimeout("tcp", target, time.Second)
+					if err != nil {
+						lose()
+						continue
+					}
+					conn, r = nc, wire.NewReader(nc)
+				}
 				frame := frames[i%len(frames)]
 				t0 := time.Now()
 				if _, err := conn.Write(frame); err != nil {
-					errs.Add(1)
-					return
+					lose()
+					continue
 				}
 				typ, payload, err := r.Next()
 				if err != nil {
-					errs.Add(1)
-					return
+					lose()
+					continue
 				}
 				switch typ {
 				case wire.TypeDecideResponse:
 					if err := wire.ParseDecideResponse(payload, &resp); err != nil {
 						errs.Add(1)
-						return
+						lose()
+						continue
 					}
 					record(time.Since(t0))
 					sent.Add(1)
+					fails = 0
 				case wire.TypeError:
 					_, code, _, perr := wire.ParseError(payload)
 					if perr == nil && code == wire.ErrCodeUnavailable {
+						// Drain goaway: this backend is leaving for good, so
+						// a clean stop beats hammering its closed port.
 						drained.Add(1)
 						return
 					}
 					errs.Add(1)
-					return
+					lose()
+					continue
 				default:
 					errs.Add(1)
-					return
+					lose()
+					continue
 				}
 			}
 		}(c)

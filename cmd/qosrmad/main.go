@@ -37,7 +37,15 @@
 //	                   consistent-hash decide batches across replicated
 //	                   backend groups ("a:7743,b:7743;c:7743" = two
 //	                   groups, the first with two replicas) and forward
-//	                   everything else to a rotating replica
+//	                   everything else to a rotating replica — with
+//	                   bounded retries, per-replica circuit breakers and
+//	                   active health probing (-route-retries,
+//	                   -route-timeout, -route-probe-interval,
+//	                   -route-hedge-after). Replicas may declare a wire
+//	                   address ("a:7743|a:7744"); combined with
+//	                   -wire-addr the tier then proxies the binary
+//	                   decide protocol too, with the same failover
+//	                   semantics over per-backend connection pools
 //
 // Usage:
 //
@@ -69,8 +77,14 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7743", "listen address")
 		wireAddr     = flag.String("wire-addr", "", "also serve the binary decide protocol on this raw-TCP address")
-		routeSpec    = flag.String("route", "", "routing-tier mode: consistent-hash decide traffic across backend groups (groups ';'-separated, replicas ','-separated)")
+		routeSpec    = flag.String("route", "", "routing-tier mode: consistent-hash decide traffic across backend groups (groups ';'-separated, replicas ','-separated, optional 'http|wire' per replica)")
 		vnodes       = flag.Int("vnodes", 0, "routing-tier virtual nodes per group (0 = default)")
+		routeRetries = flag.Int("route-retries", 2, "routing-tier extra attempts for idempotent requests (negative disables)")
+		routeTimeout = flag.Duration("route-timeout", 2*time.Second, "routing-tier per-attempt deadline (negative disables)")
+		routeProbe   = flag.Duration("route-probe-interval", 2*time.Second, "routing-tier health-probe period (0 disables active probing)")
+		routeHedge   = flag.Duration("route-hedge-after", 0, "routing-tier decide hedging delay (0 disables hedged requests)")
+		routeSeed    = flag.Uint64("route-seed", 1, "routing-tier backoff-jitter seed")
+		maxInflight  = flag.Int("max-inflight", 0, "decide/score load-shed gate (0 = default 1024, negative disables)")
 		cores        = flag.Int("cores", 4, "cores per machine (when building the database)")
 		dbPath       = flag.String("db", "", "load a compiled database instead of building one (also the SIGHUP reload source)")
 		shards       = flag.Int("shards", 0, "decision shards (0 = GOMAXPROCS, capped at 16)")
@@ -83,7 +97,18 @@ func main() {
 	flag.Parse()
 
 	if *routeSpec != "" {
-		runRouter(*addr, *routeSpec, *vnodes, *drainTimeout)
+		runRouter(routerConfig{
+			addr:          *addr,
+			wireAddr:      *wireAddr,
+			spec:          *routeSpec,
+			vnodes:        *vnodes,
+			retries:       *routeRetries,
+			timeout:       *routeTimeout,
+			probeInterval: *routeProbe,
+			hedgeAfter:    *routeHedge,
+			seed:          *routeSeed,
+			drainTimeout:  *drainTimeout,
+		})
 		return
 	}
 
@@ -109,6 +134,7 @@ func main() {
 		ReloadPath:    *dbPath,
 		AuditInterval: *auditEvery,
 		AuditSamples:  *auditSamples,
+		MaxInflight:   *maxInflight,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -177,28 +203,61 @@ func main() {
 	}
 }
 
+// routerConfig carries the -route mode knobs from flag parsing.
+type routerConfig struct {
+	addr          string
+	wireAddr      string
+	spec          string
+	vnodes        int
+	retries       int
+	timeout       time.Duration
+	probeInterval time.Duration
+	hedgeAfter    time.Duration
+	seed          uint64
+	drainTimeout  time.Duration
+}
+
 // runRouter is -route mode: a stateless consistent-hash tier over
 // replicated backend groups. It builds no database — decide batches are
-// split by the ring and merged, everything else is forwarded whole.
-func runRouter(addr, spec string, vnodes int, drainTimeout time.Duration) {
-	groups, err := route.ParseGroups(spec)
+// split by the ring and merged with bounded retries, per-replica circuit
+// breakers and active health probing; everything else is forwarded
+// whole. With -wire-addr the tier also proxies the binary decide
+// protocol over per-backend connection pools.
+func runRouter(cfg routerConfig) {
+	groups, err := route.ParseGroups(cfg.spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qosrmad: %v\n", err)
 		os.Exit(1)
 	}
-	ring, err := route.New(groups, vnodes)
+	ring, err := route.New(groups, cfg.vnodes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qosrmad: %v\n", err)
 		os.Exit(1)
 	}
-	proxy := route.NewProxy(ring, nil)
-	httpSrv := &http.Server{Addr: addr, Handler: proxy}
+	proxy := route.NewProxyWithOptions(ring, nil, route.Options{
+		AttemptTimeout: cfg.timeout,
+		Retries:        cfg.retries,
+		HedgeAfter:     cfg.hedgeAfter,
+		ProbeInterval:  cfg.probeInterval,
+		Seed:           cfg.seed,
+	})
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: proxy}
 
 	var desc []string
 	for _, g := range groups {
 		desc = append(desc, fmt.Sprintf("%s[%d replicas]", g.Name, len(g.Addrs)))
 	}
-	log.Printf("qosrmad: routing tier on %s over %d groups: %s", addr, len(groups), strings.Join(desc, " "))
+	log.Printf("qosrmad: routing tier on %s over %d groups: %s", cfg.addr, len(groups), strings.Join(desc, " "))
+
+	if cfg.wireAddr != "" {
+		ln, err := net.Listen("tcp", cfg.wireAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qosrmad: wire listener: %v\n", err)
+			os.Exit(1)
+		}
+		proxy.ServeWire(ln)
+		log.Printf("qosrmad: routing binary decide protocol on %s", cfg.wireAddr)
+	}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
@@ -211,10 +270,11 @@ func runRouter(addr, spec string, vnodes int, drainTimeout time.Duration) {
 			os.Exit(1)
 		}
 	case sig := <-sigs:
-		log.Printf("qosrmad: %v: draining routing tier (deadline %s)", sig, drainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		log.Printf("qosrmad: %v: draining routing tier (deadline %s)", sig, cfg.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 		err := httpSrv.Shutdown(ctx)
 		cancel()
+		proxy.Close()
 		if err != nil {
 			log.Printf("qosrmad: drain incomplete at deadline: %v", err)
 			os.Exit(1)

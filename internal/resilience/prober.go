@@ -1,0 +1,175 @@
+// Active health probing: a Prober periodically runs a caller-supplied
+// probe against a fixed set of targets, ejecting one after FailThreshold
+// consecutive failures and readmitting it after SuccessThreshold
+// consecutive successes. The routing tier consults Healthy when picking
+// replicas, so a dead or draining backend stops receiving traffic within
+// one probe interval and returns to rotation as soon as it answers again
+// — without moving any consistent-hash placement (health is a filter over
+// the ring, not an input to it).
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProberOptions configures a Prober. The zero value selects defaults.
+type ProberOptions struct {
+	// Interval between probe rounds (default 2s).
+	Interval time.Duration
+	// Timeout bounds one probe call (default half the interval).
+	Timeout time.Duration
+	// FailThreshold is the consecutive probe failures that eject a target
+	// (default 2).
+	FailThreshold int
+	// SuccessThreshold is the consecutive probe successes that readmit an
+	// ejected target (default 1).
+	SuccessThreshold int
+}
+
+func (o ProberOptions) withDefaults() ProberOptions {
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = o.Interval / 2
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+	if o.SuccessThreshold <= 0 {
+		o.SuccessThreshold = 1
+	}
+	return o
+}
+
+// Prober tracks per-target health from active probes. Targets are
+// addressed by index (the caller keeps the parallel address slice).
+// Every target starts healthy — traffic flows before the first round, and
+// the breaker layer covers the window until probing notices a failure.
+type Prober struct {
+	opt    ProberOptions
+	probe  func(ctx context.Context, target int) error
+	n      int
+	health []atomic.Bool
+	fails  []int // consecutive probe failures, probe-goroutine-owned
+	succs  []int // consecutive probe successes while ejected
+
+	ejections    atomic.Uint64
+	readmits     atomic.Uint64
+	startOnce    sync.Once
+	stopOnce     sync.Once
+	quit, done   chan struct{}
+	onTransition func(target int, healthy bool)
+}
+
+// NewProber builds a prober over n targets. probe is called with the
+// target index and a per-call timeout context; a nil error is a healthy
+// answer. onTransition (optional) observes ejections and readmissions.
+func NewProber(n int, probe func(ctx context.Context, target int) error,
+	opt ProberOptions, onTransition func(target int, healthy bool)) *Prober {
+	p := &Prober{
+		opt:          opt.withDefaults(),
+		probe:        probe,
+		n:            n,
+		health:       make([]atomic.Bool, n),
+		fails:        make([]int, n),
+		succs:        make([]int, n),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+		onTransition: onTransition,
+	}
+	for i := range p.health {
+		p.health[i].Store(true)
+	}
+	return p
+}
+
+// Start launches the probe loop. Idempotent.
+func (p *Prober) Start() {
+	p.startOnce.Do(func() {
+		go p.run()
+	})
+}
+
+// Stop halts the probe loop and waits for it to exit. Idempotent; safe
+// to call without Start (the done channel is closed either way).
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.quit) })
+	p.startOnce.Do(func() { close(p.done) })
+	<-p.done
+}
+
+func (p *Prober) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.opt.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-t.C:
+			p.RunNow()
+		}
+	}
+}
+
+// RunNow probes every target once, synchronously (the loop's round body;
+// exported so tests and operators can force a round without waiting an
+// interval). Targets are probed concurrently — one slow target must not
+// delay ejecting another.
+func (p *Prober) RunNow() {
+	var wg sync.WaitGroup
+	for i := 0; i < p.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), p.opt.Timeout)
+			err := p.probe(ctx, i)
+			cancel()
+			p.observe(i, err == nil)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// observe folds one probe outcome into the target's health.
+func (p *Prober) observe(i int, ok bool) {
+	if ok {
+		p.fails[i] = 0
+		if !p.health[i].Load() {
+			p.succs[i]++
+			if p.succs[i] >= p.opt.SuccessThreshold {
+				p.succs[i] = 0
+				p.health[i].Store(true)
+				p.readmits.Add(1)
+				if p.onTransition != nil {
+					p.onTransition(i, true)
+				}
+			}
+		}
+		return
+	}
+	p.succs[i] = 0
+	if p.health[i].Load() {
+		p.fails[i]++
+		if p.fails[i] >= p.opt.FailThreshold {
+			p.fails[i] = 0
+			p.health[i].Store(false)
+			p.ejections.Add(1)
+			if p.onTransition != nil {
+				p.onTransition(i, false)
+			}
+		}
+	}
+}
+
+// Healthy reports whether target i is currently admitted.
+func (p *Prober) Healthy(i int) bool { return p.health[i].Load() }
+
+// Stats reports lifetime ejections and readmissions.
+func (p *Prober) Stats() (ejections, readmits uint64) {
+	return p.ejections.Load(), p.readmits.Load()
+}

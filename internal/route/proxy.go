@@ -2,7 +2,9 @@ package route
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,8 +12,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"qosrma/internal/ops"
+	"qosrma/internal/resilience"
 	"qosrma/internal/service"
+	"qosrma/internal/stats"
 )
 
 // Proxy is the routing tier's http.Handler: it speaks the decision
@@ -19,50 +25,327 @@ import (
 // itself. POST /v1/decide bodies are split by the ring — each query goes
 // to the group owning its canonical key — and the per-group sub-batches
 // are forwarded concurrently and merged back into request order. Every
-// other request (meta, healthz, score, sweep, admin) is forwarded whole
-// to a rotating replica, so operators can point any client at the proxy.
+// other request is forwarded whole to a rotating replica, so operators
+// can point any client at the proxy.
+//
+// Every forward runs through the resilience layer: a per-attempt
+// deadline, bounded retries with jittered exponential backoff (only for
+// idempotent requests — GET/HEAD and the pure-compute decide/score
+// POSTs; sweeps and admin mutations get exactly one attempt), a circuit
+// breaker per replica, optional active health probing that ejects dead
+// replicas from rotation, and optional hedged decide requests. When
+// every replica of a group is out, its keys spill to the next available
+// group on the ring — correct because the whole fleet serves one
+// database — and return the moment the owner heals.
+//
+// Two endpoints are answered locally instead of forwarded: /v1/healthz
+// reports the proxy's own deep health (a group with zero available
+// replicas makes the tier degraded) and /metrics exposes the routing
+// tier's counters.
 type Proxy struct {
 	ring   *Ring
 	client *http.Client
-	// rr rotates replica choice per group (and, for whole-request
-	// forwarding, across groups).
-	rr []atomic.Uint32
-	gr atomic.Uint32
+	opt    Options
 
-	// Counters for tests and the /admin-style status line.
+	replicas []replica
+	groups   [][]int // group index → indices into replicas
+	rr       []atomic.Uint32
+	ar       atomic.Uint32 // any-replica rotation (whole-request forwards)
+
+	prober *resilience.Prober
+	wire   *WireProxy // attached by ServeWire; shares breakers and health
+
+	reg *ops.Registry
+	// Legacy counters kept for Stats().
 	requests atomic.Uint64 // decide requests handled
 	splits   atomic.Uint64 // decide requests that spanned >1 group
-	failures atomic.Uint64 // forwards that exhausted a group's replicas
+	failures atomic.Uint64 // forwards that exhausted every attempt
+
+	retried  *ops.Counter // retry attempts after a failure
+	attempts *ops.Counter // attempt failures (transport, truncation, 5xx)
+	hedges   *ops.Counter // hedged decide requests launched
+	spills   *ops.Counter // decide queries routed off-owner (group down)
+	breakTo  map[resilience.BreakerState]*ops.Counter
+
+	rngMu sync.Mutex
+	rng   *stats.RNG
 }
 
-// NewProxy builds a proxy over the ring. client nil selects a transport
-// sized for backend connection reuse.
+// replica is one flattened backend address with its failure-isolation
+// state. Health (prober) and breaker state are per replica, not per
+// group: one dead process must not poison its siblings.
+type replica struct {
+	group    int
+	addr     string // HTTP host:port
+	wireAddr string // binary wire host:port ("" = none)
+	breaker  *resilience.Breaker
+}
+
+// Options tunes the proxy's resilience behaviour. The zero value selects
+// the defaults noted per field; NewProxy uses it.
+type Options struct {
+	// AttemptTimeout bounds one forward attempt (default 2s; negative
+	// disables the per-attempt deadline — the client's own context still
+	// applies).
+	AttemptTimeout time.Duration
+	// Retries is the extra attempts granted to idempotent requests after
+	// the first failure (default 2; negative disables retries).
+	Retries int
+	// Backoff schedules the delay between attempts.
+	Backoff resilience.Backoff
+	// Breaker configures every replica's circuit breaker.
+	Breaker resilience.BreakerOptions
+	// HedgeAfter, when positive, launches a second decide forward if the
+	// first has not answered within the duration; first answer wins
+	// (default 0 = off).
+	HedgeAfter time.Duration
+	// ProbeInterval, when positive, enables active health probing of
+	// every replica's /v1/healthz at the interval (default 0 = off;
+	// passive breaker-based isolation still applies).
+	ProbeInterval time.Duration
+	// Prober tunes the probe thresholds (Interval is taken from
+	// ProbeInterval).
+	Prober resilience.ProberOptions
+	// Seed keys the backoff-jitter stream for reproducible schedules.
+	Seed uint64
+}
+
+func (o Options) attemptTimeout() time.Duration {
+	if o.AttemptTimeout == 0 {
+		return 2 * time.Second
+	}
+	if o.AttemptTimeout < 0 {
+		return 0
+	}
+	return o.AttemptTimeout
+}
+
+func (o Options) retries() int {
+	if o.Retries == 0 {
+		return 2
+	}
+	if o.Retries < 0 {
+		return 0
+	}
+	return o.Retries
+}
+
+// NewProxy builds a proxy with default resilience options (retries on,
+// probing and hedging off). client nil selects a transport sized for
+// backend connection reuse.
 func NewProxy(ring *Ring, client *http.Client) *Proxy {
+	return NewProxyWithOptions(ring, client, Options{})
+}
+
+// NewProxyWithOptions builds a proxy over the ring. Call Close when done
+// (it stops the prober, when one is running).
+func NewProxyWithOptions(ring *Ring, client *http.Client, opt Options) *Proxy {
 	if client == nil {
 		client = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        256,
 			MaxIdleConnsPerHost: 64,
 		}}
 	}
-	return &Proxy{
+	p := &Proxy{
 		ring:   ring,
 		client: client,
+		opt:    opt,
+		groups: make([][]int, len(ring.Backends())),
 		rr:     make([]atomic.Uint32, len(ring.Backends())),
+		reg:    ops.NewRegistry(),
+		rng:    stats.NewRNG(stats.SeedFrom(opt.Seed, "route/jitter")),
+	}
+	p.initMetrics()
+	for g, b := range ring.Backends() {
+		for i, addr := range b.Addrs {
+			ri := len(p.replicas)
+			bopt := opt.Breaker
+			prev := bopt.OnStateChange
+			bopt.OnStateChange = func(from, to resilience.BreakerState) {
+				p.breakTo[to].Inc()
+				if prev != nil {
+					prev(from, to)
+				}
+			}
+			var wireAddr string
+			if len(b.WireAddrs) > i {
+				wireAddr = b.WireAddrs[i]
+			}
+			p.replicas = append(p.replicas, replica{
+				group:    g,
+				addr:     addr,
+				wireAddr: wireAddr,
+				breaker:  resilience.NewBreaker(bopt),
+			})
+			p.groups[g] = append(p.groups[g], ri)
+		}
+	}
+	if opt.ProbeInterval > 0 {
+		popt := opt.Prober
+		popt.Interval = opt.ProbeInterval
+		p.prober = resilience.NewProber(len(p.replicas), p.probeReplica, popt, nil)
+		p.prober.Start()
+	}
+	p.registerReplicaMetrics()
+	return p
+}
+
+// Close stops background work (the health prober and any wire proxy).
+func (p *Proxy) Close() {
+	if p.prober != nil {
+		p.prober.Stop()
+	}
+	if p.wire != nil {
+		p.wire.Close()
 	}
 }
 
+// Registry exposes the routing tier's metrics registry (served on
+// /metrics).
+func (p *Proxy) Registry() *ops.Registry { return p.reg }
+
+// ProbeNow forces one synchronous probe round (no-op with probing off).
+// Tests and operators use it to observe ejection without waiting an
+// interval.
+func (p *Proxy) ProbeNow() {
+	if p.prober != nil {
+		p.prober.RunNow()
+	}
+}
+
+func (p *Proxy) initMetrics() {
+	p.reg.CounterFunc("qosrmad_route_requests_total",
+		"Decide requests handled by the routing tier.", "",
+		func() float64 { return float64(p.requests.Load()) })
+	p.reg.CounterFunc("qosrmad_route_splits_total",
+		"Decide requests that spanned more than one backend group.", "",
+		func() float64 { return float64(p.splits.Load()) })
+	p.reg.CounterFunc("qosrmad_route_exhausted_total",
+		"Forwards that exhausted every attempt and answered an error.", "",
+		func() float64 { return float64(p.failures.Load()) })
+	p.retried = p.reg.Counter("qosrmad_route_retries_total",
+		"Forward attempts retried after a failure.", "")
+	p.attempts = p.reg.Counter("qosrmad_route_attempt_failures_total",
+		"Individual forward attempts that failed (transport error, truncated body, or 5xx).", "")
+	p.hedges = p.reg.Counter("qosrmad_route_hedges_total",
+		"Hedged decide forwards launched.", "")
+	p.spills = p.reg.Counter("qosrmad_route_spills_total",
+		"Decide forwards served off-owner because the owning group had no available replica.", "")
+	p.breakTo = map[resilience.BreakerState]*ops.Counter{}
+	for _, s := range []resilience.BreakerState{
+		resilience.BreakerClosed, resilience.BreakerOpen, resilience.BreakerHalfOpen,
+	} {
+		p.breakTo[s] = p.reg.Counter("qosrmad_route_breaker_transitions_total",
+			"Replica circuit-breaker transitions by destination state.",
+			ops.Labels("to", s.String()))
+	}
+	p.reg.CounterFunc("qosrmad_route_probe_ejections_total",
+		"Replicas ejected from rotation by the health prober.", "",
+		func() float64 { e, _ := p.proberStats(); return float64(e) })
+	p.reg.CounterFunc("qosrmad_route_probe_readmissions_total",
+		"Ejected replicas readmitted to rotation by the health prober.", "",
+		func() float64 { _, r := p.proberStats(); return float64(r) })
+}
+
+// registerReplicaMetrics runs after the replica slice is final.
+func (p *Proxy) registerReplicaMetrics() {
+	for i := range p.replicas {
+		rep := &p.replicas[i]
+		ri := i
+		labels := ops.Labels("group", p.ring.Backends()[rep.group].Name, "replica", rep.addr)
+		p.reg.GaugeFunc("qosrmad_route_replica_available",
+			"1 when the replica is in rotation (probe-healthy, breaker not open).",
+			labels, func() float64 {
+				if p.replicaAvailable(ri) {
+					return 1
+				}
+				return 0
+			})
+	}
+}
+
+func (p *Proxy) proberStats() (uint64, uint64) {
+	if p.prober == nil {
+		return 0, 0
+	}
+	return p.prober.Stats()
+}
+
+// probeReplica is the active health probe: GET /v1/healthz on the
+// replica, healthy iff it answers 200 (a draining or degraded backend
+// answers 503 and leaves rotation until it recovers). The verdict also
+// feeds the replica's breaker: a replica whose breaker opened under
+// live traffic gets no more attempts (the pick loop skips unavailable
+// replicas), so without this a breaker opened just before an ejection
+// would stay open forever and block readmission — the passing probe is
+// the evidence that closes it.
+func (p *Proxy) probeReplica(ctx context.Context, ri int) error {
+	err := p.probeReplicaHTTP(ctx, ri)
+	if err != nil {
+		p.replicas[ri].breaker.Failure()
+	} else {
+		p.replicas[ri].breaker.Success()
+	}
+	return err
+}
+
+func (p *Proxy) probeReplicaHTTP(ctx context.Context, ri int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+p.replicas[ri].addr+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// replicaHealthy reports the prober's verdict (true when probing is off
+// — the breaker still isolates passively).
+func (p *Proxy) replicaHealthy(ri int) bool {
+	return p.prober == nil || p.prober.Healthy(ri)
+}
+
+// replicaAvailable reports whether the replica is in rotation:
+// probe-healthy and breaker not refusing.
+func (p *Proxy) replicaAvailable(ri int) bool {
+	return p.replicaHealthy(ri) && p.replicas[ri].breaker.State() != resilience.BreakerOpen
+}
+
+// groupAvailable reports whether any replica of group g is in rotation.
+func (p *Proxy) groupAvailable(g int) bool {
+	for _, ri := range p.groups[g] {
+		if p.replicaAvailable(ri) {
+			return true
+		}
+	}
+	return false
+}
+
 // Stats reports decide requests handled, how many spanned multiple
-// groups, and how many forwards exhausted a replica set.
+// groups, and how many forwards exhausted every attempt.
 func (p *Proxy) Stats() (requests, splits, failures uint64) {
 	return p.requests.Load(), p.splits.Load(), p.failures.Load()
 }
 
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method == http.MethodPost && r.URL.Path == "/v1/decide" {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/decide":
 		p.serveDecide(w, r)
-		return
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/healthz":
+		p.serveHealthz(w)
+	case r.Method == http.MethodGet && r.URL.Path == "/metrics":
+		p.reg.ServeHTTP(w, r)
+	default:
+		p.forwardWhole(w, r)
 	}
-	p.forwardWhole(w, r)
 }
 
 // RoutingKey renders the canonical routing form of one query: lowercased
@@ -96,6 +379,33 @@ func RoutingKey(dst []byte, q *service.DecideQuery) []byte {
 	return dst
 }
 
+// groupPicker returns the health-aware owner function for one request:
+// availability is snapshotted once so every query in the batch sees a
+// consistent fleet view. In the healthy fleet it is exactly Ring.Pick.
+func (p *Proxy) groupPicker() func(key []byte) int {
+	ng := len(p.groups)
+	if ng == 1 {
+		return func([]byte) int { return 0 }
+	}
+	avail := make([]bool, ng)
+	allUp := true
+	for g := range avail {
+		avail[g] = p.groupAvailable(g)
+		allUp = allUp && avail[g]
+	}
+	if allUp {
+		return p.ring.Pick
+	}
+	return func(key []byte) int {
+		owner := p.ring.PickHash(Hash(key))
+		g := p.ring.PickAvailableHash(Hash(key), func(g int) bool { return avail[g] })
+		if g != owner {
+			p.spills.Inc()
+		}
+		return g
+	}
+}
+
 // serveDecide splits a decide request by owning group and merges the
 // answers. A request whose queries all map to one group is forwarded
 // verbatim (the common case under key-affine clients).
@@ -117,13 +427,14 @@ func (p *Proxy) serveDecide(w http.ResponseWriter, r *http.Request) {
 		queries = []service.DecideQuery{req.DecideQuery}
 	}
 
+	pick := p.groupPicker()
 	groups := make([][]int, len(p.ring.Backends()))
 	var key []byte
 	distinct := -1
 	split := false
 	for i := range queries {
 		key = RoutingKey(key[:0], &queries[i])
-		g := p.ring.Pick(key)
+		g := pick(key)
 		groups[g] = append(groups[g], i)
 		if distinct == -1 {
 			distinct = g
@@ -136,13 +447,12 @@ func (p *Proxy) serveDecide(w http.ResponseWriter, r *http.Request) {
 		// One owning group: forward the original body untouched so the
 		// backend sees exactly what the client sent (single/batch shape
 		// included).
-		resp, err := p.forwardGroup(distinct, bytes.NewReader(body))
+		resp, err := p.forwardDecide(r.Context(), distinct, body)
 		if err != nil {
-			writeProxyError(w, http.StatusBadGateway, err)
+			p.writeForwardError(w, err)
 			return
 		}
-		defer resp.Body.Close()
-		copyResponse(w, resp)
+		writeBackendResponse(w, resp)
 		return
 	}
 	p.splits.Add(1)
@@ -154,8 +464,7 @@ func (p *Proxy) serveDecide(w http.ResponseWriter, r *http.Request) {
 		g    int
 		resp service.DecideResponse
 		err  error
-		code int
-		body []byte
+		back *backendResponse
 	}
 	var wg sync.WaitGroup
 	results := make([]groupResult, 0, len(groups))
@@ -179,21 +488,14 @@ func (p *Proxy) serveDecide(w http.ResponseWriter, r *http.Request) {
 				gr.err = err
 				return
 			}
-			resp, err := p.forwardGroup(gr.g, bytes.NewReader(b))
+			back, err := p.forwardDecide(r.Context(), gr.g, b)
 			if err != nil {
 				gr.err = err
 				return
 			}
-			defer resp.Body.Close()
-			payload, err := io.ReadAll(resp.Body)
-			if err != nil {
-				gr.err = err
-				return
-			}
-			gr.code = resp.StatusCode
-			gr.body = payload
-			if resp.StatusCode == http.StatusOK {
-				gr.err = json.Unmarshal(payload, &gr.resp)
+			gr.back = back
+			if back.code == http.StatusOK {
+				gr.err = json.Unmarshal(back.body, &gr.resp)
 			}
 		}(&results[i])
 	}
@@ -202,18 +504,16 @@ func (p *Proxy) serveDecide(w http.ResponseWriter, r *http.Request) {
 	merged := service.DecideResponse{Results: make([]service.DecideAnswer, len(queries))}
 	for _, gr := range results {
 		if gr.err != nil {
-			writeProxyError(w, http.StatusBadGateway,
-				fmt.Errorf("backend group %s: %v", p.ring.Backends()[gr.g].Name, gr.err))
+			p.writeForwardError(w,
+				fmt.Errorf("backend group %s: %w", p.ring.Backends()[gr.g].Name, gr.err))
 			return
 		}
-		if gr.code != http.StatusOK {
+		if gr.back.code != http.StatusOK {
 			// Propagate the backend's own error verbatim (validation
 			// failures carry the offending sub-batch index, which is still
 			// meaningful to the caller after remapping is lost — the error
 			// text names the query content).
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(gr.code)
-			w.Write(gr.body) //nolint:errcheck // client gone; nothing to report
+			writeBackendResponse(w, gr.back)
 			return
 		}
 		idx := groups[gr.g]
@@ -232,74 +532,299 @@ func (p *Proxy) serveDecide(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(&merged) //nolint:errcheck // client gone; nothing to report
 }
 
-// forwardGroup posts a decide body to group g, rotating through its
-// replicas and failing over on connection errors.
-func (p *Proxy) forwardGroup(g int, body *bytes.Reader) (*http.Response, error) {
-	addrs := p.ring.Backends()[g].Addrs
-	start := int(p.rr[g].Add(1))
-	var lastErr error
-	for i := 0; i < len(addrs); i++ {
-		addr := addrs[(start+i)%len(addrs)]
-		body.Seek(0, io.SeekStart) //nolint:errcheck // bytes.Reader cannot fail
-		resp, err := p.client.Post("http://"+addr+"/v1/decide", "application/json", body)
-		if err == nil {
-			return resp, nil
+// errNoReplica marks a forward that found no admitted replica anywhere:
+// answered as 503 + Retry-After so well-behaved clients back off instead
+// of hammering a fleet that is already down.
+var errNoReplica = errors.New("no replica available")
+
+// backendResponse is one fully-buffered backend answer. Buffering is
+// deliberate: a connection reset mid-body is then an attempt failure the
+// retry loop handles (next replica) instead of a truncated response
+// relayed to the client.
+type backendResponse struct {
+	code        int
+	contentType string
+	retryAfter  string
+	body        []byte
+}
+
+// attempt runs exactly one forward to one replica under the per-attempt
+// deadline and reports the outcome to its breaker. Transport errors,
+// truncated bodies and 5xx answers count as failures; any completed
+// non-5xx answer (a 4xx is the backend authoritatively rejecting the
+// request) counts as success.
+func (p *Proxy) attempt(ctx context.Context, ri int, method, uri, contentType string, body []byte) (*backendResponse, error) {
+	rep := &p.replicas[ri]
+	if t := p.opt.attemptTimeout(); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+rep.addr+uri, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		rep.breaker.Failure()
+		p.attempts.Inc()
+		return nil, fmt.Errorf("replica %s: %w", rep.addr, err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		// The status line arrived but the body did not (reset mid-body):
+		// a replica failure like any other, retried on the next replica
+		// rather than relayed as a truncated answer.
+		rep.breaker.Failure()
+		p.attempts.Inc()
+		return nil, fmt.Errorf("replica %s: response truncated: %w", rep.addr, err)
+	}
+	if resp.StatusCode >= 500 {
+		rep.breaker.Failure()
+		p.attempts.Inc()
+	} else {
+		rep.breaker.Success()
+	}
+	return &backendResponse{
+		code:        resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		retryAfter:  resp.Header.Get("Retry-After"),
+		body:        payload,
+	}, nil
+}
+
+// pickReplica returns the next admitted replica of group g (rotating),
+// skipping index skip (the previous attempt's choice), or -1 when the
+// group has none. g < 0 means any group.
+func (p *Proxy) pickReplica(g, skip int) int {
+	if g < 0 {
+		n := len(p.replicas)
+		start := int(p.ar.Add(1))
+		for k := 0; k < n; k++ {
+			ri := (start + k) % n
+			if ri != skip && p.admit(ri) {
+				return ri
+			}
 		}
-		lastErr = err
+		return -1
+	}
+	idxs := p.groups[g]
+	start := int(p.rr[g].Add(1))
+	for k := 0; k < len(idxs); k++ {
+		ri := idxs[(start+k)%len(idxs)]
+		if ri != skip && p.admit(ri) {
+			return ri
+		}
+	}
+	return -1
+}
+
+// admit checks prober health and reserves breaker admission. A true
+// return must be followed by exactly one attempt (the breaker's
+// half-open probe accounting depends on it).
+func (p *Proxy) admit(ri int) bool {
+	return p.replicaHealthy(ri) && p.replicas[ri].breaker.Allow()
+}
+
+// rnd is the locked jitter source for backoff delays.
+func (p *Proxy) rnd() float64 {
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	return p.rng.Float64()
+}
+
+// forward runs the retry loop for one request against group g (g < 0 =
+// any group). Idempotent requests get the configured extra attempts and
+// fail over across replicas — spilling out of the group when it has none
+// left — with backoff between attempts; non-idempotent requests get
+// exactly one attempt. A 5xx answer is retried like a transport failure
+// but relayed verbatim when attempts run out (the backend's own error
+// beats a synthetic one).
+func (p *Proxy) forward(ctx context.Context, g int, method, uri, contentType string, body []byte, idempotent bool) (*backendResponse, error) {
+	attempts := 1
+	if idempotent {
+		attempts += p.opt.retries()
+	}
+	var lastResp *backendResponse
+	var lastErr error
+	tried := -1
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			p.retried.Inc()
+			if err := p.opt.Backoff.Sleep(ctx, a-1, p.rnd); err != nil {
+				break
+			}
+		}
+		ri := p.pickReplica(g, tried)
+		if ri < 0 && g >= 0 && idempotent {
+			// The owning group is out mid-request: any backend answers
+			// the same decide (one fleet, one database).
+			ri = p.pickReplica(-1, tried)
+		}
+		if ri < 0 {
+			lastErr = errNoReplica
+			continue // backoff: a breaker may half-open meanwhile
+		}
+		tried = ri
+		resp, err := p.attempt(ctx, ri, method, uri, contentType, body)
+		if err != nil {
+			lastResp, lastErr = nil, err
+			continue
+		}
+		if resp.code >= 500 && idempotent && a < attempts-1 {
+			lastResp, lastErr = resp, nil
+			continue
+		}
+		return resp, nil
+	}
+	if lastResp != nil {
+		return lastResp, nil
 	}
 	p.failures.Add(1)
-	return nil, fmt.Errorf("all %d replicas failed: %w", len(addrs), lastErr)
+	if lastErr == nil {
+		lastErr = errNoReplica
+	}
+	return nil, lastErr
+}
+
+// forwardDecide forwards one decide body to group g, hedging with a
+// second concurrent forward when the first exceeds HedgeAfter. Decide is
+// idempotent and answer-deterministic, so whichever forward wins is the
+// canonical answer.
+func (p *Proxy) forwardDecide(ctx context.Context, g int, body []byte) (*backendResponse, error) {
+	if p.opt.HedgeAfter <= 0 {
+		return p.forward(ctx, g, http.MethodPost, "/v1/decide", "application/json", body, true)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type out struct {
+		resp *backendResponse
+		err  error
+	}
+	ch := make(chan out, 2)
+	launch := func() {
+		go func() {
+			resp, err := p.forward(cctx, g, http.MethodPost, "/v1/decide", "application/json", body, true)
+			ch <- out{resp, err}
+		}()
+	}
+	launch()
+	inflight, hedged := 1, false
+	timer := time.NewTimer(p.opt.HedgeAfter)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			inflight--
+			if o.err == nil {
+				return o.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if inflight == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				p.hedges.Inc()
+				launch()
+				inflight++
+			}
+		}
+	}
 }
 
 // forwardWhole proxies any non-decide request to a rotating replica
-// (meta, healthz, metrics, admin, sweep). Decide-independent state is
-// assumed fleet-uniform — every backend serves the same database.
+// (meta, score, sweep, admin). Decide-independent state is assumed
+// fleet-uniform — every backend serves the same database. Only
+// read-only requests and the pure-compute score POST are retried;
+// sweeps and admin mutations are not idempotent and get one attempt.
 func (p *Proxy) forwardWhole(w http.ResponseWriter, r *http.Request) {
-	backends := p.ring.Backends()
-	g := int(p.gr.Add(1)) % len(backends)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		writeProxyError(w, http.StatusBadRequest, err)
 		return
 	}
-	var lastErr error
-	for i := 0; i < len(backends); i++ {
-		b := backends[(g+i)%len(backends)]
-		for j := 0; j < len(b.Addrs); j++ {
-			addr := b.Addrs[(int(p.rr[(g+i)%len(backends)].Add(1))+j)%len(b.Addrs)]
-			req, err := http.NewRequestWithContext(r.Context(), r.Method,
-				"http://"+addr+r.URL.RequestURI(), bytes.NewReader(body))
-			if err != nil {
-				writeProxyError(w, http.StatusInternalServerError, err)
-				return
-			}
-			if ct := r.Header.Get("Content-Type"); ct != "" {
-				req.Header.Set("Content-Type", ct)
-			}
-			resp, err := p.client.Do(req)
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			defer resp.Body.Close()
-			copyResponse(w, resp)
-			return
-		}
+	idempotent := r.Method == http.MethodGet || r.Method == http.MethodHead ||
+		(r.Method == http.MethodPost && (r.URL.Path == "/v1/decide" || r.URL.Path == "/v1/score"))
+	resp, err := p.forward(r.Context(), -1, r.Method, r.URL.RequestURI(),
+		r.Header.Get("Content-Type"), body, idempotent)
+	if err != nil {
+		p.writeForwardError(w, err)
+		return
 	}
-	p.failures.Add(1)
-	writeProxyError(w, http.StatusBadGateway, fmt.Errorf("no backend reachable: %w", lastErr))
+	writeBackendResponse(w, resp)
 }
 
-// copyResponse relays a backend response (status, content type, body).
-func copyResponse(w http.ResponseWriter, resp *http.Response) {
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		w.Header().Set("Content-Type", ct)
+// serveHealthz answers the routing tier's own deep health: ok while
+// every group has at least one available replica, degraded (503)
+// otherwise — degraded traffic still flows via ring spill, but placement
+// affinity is lost and operators should treat it as an incident.
+func (p *Proxy) serveHealthz(w http.ResponseWriter) {
+	type groupHealth struct {
+		Name      string `json:"name"`
+		Replicas  int    `json:"replicas"`
+		Available int    `json:"available"`
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		w.Header().Set("Retry-After", ra)
+	out := struct {
+		Status string        `json:"status"`
+		Groups []groupHealth `json:"groups"`
+	}{Status: "ok"}
+	for g, b := range p.ring.Backends() {
+		gh := groupHealth{Name: b.Name, Replicas: len(p.groups[g])}
+		for _, ri := range p.groups[g] {
+			if p.replicaAvailable(ri) {
+				gh.Available++
+			}
+		}
+		if gh.Available == 0 {
+			out.Status = "degraded"
+		}
+		out.Groups = append(out.Groups, gh)
 	}
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body) //nolint:errcheck // client gone; nothing to report
+	w.Header().Set("Content-Type", "application/json")
+	if out.Status != "ok" {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	} else {
+		w.WriteHeader(http.StatusOK)
+	}
+	json.NewEncoder(w).Encode(&out) //nolint:errcheck // client gone; nothing to report
+}
+
+// writeForwardError maps a forward failure onto the wire: exhausted
+// availability is 503 + Retry-After (back off, the fleet is down),
+// anything else is 502.
+func (p *Proxy) writeForwardError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errNoReplica) {
+		w.Header().Set("Retry-After", "1")
+		writeProxyError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeProxyError(w, http.StatusBadGateway, err)
+}
+
+// writeBackendResponse relays a buffered backend answer.
+func writeBackendResponse(w http.ResponseWriter, resp *backendResponse) {
+	if resp.contentType != "" {
+		w.Header().Set("Content-Type", resp.contentType)
+	}
+	if resp.retryAfter != "" {
+		w.Header().Set("Retry-After", resp.retryAfter)
+	}
+	w.WriteHeader(resp.code)
+	w.Write(resp.body) //nolint:errcheck // client gone; nothing to report
 }
 
 // writeProxyError mirrors the service's error body shape.

@@ -32,8 +32,12 @@ type Backend struct {
 	// are derived from it, so renaming a group moves its keys while
 	// adding/removing replicas does not.
 	Name string
-	// Addrs are the replica addresses (host:port).
+	// Addrs are the replica HTTP addresses (host:port).
 	Addrs []string
+	// WireAddrs, when non-empty, is parallel to Addrs and holds each
+	// replica's binary wire-protocol address ("" = replica exposes no
+	// wire listener). Only consulted by the wire proxy.
+	WireAddrs []string
 }
 
 // point is one virtual node: a position on the ring owned by a group.
@@ -102,6 +106,28 @@ func (r *Ring) PickHash(h uint64) int {
 	return r.points[i].idx
 }
 
+// PickAvailableHash walks clockwise from the key's owning virtual node to
+// the first group avail reports true for. With every group available it
+// equals PickHash, so placement is unchanged in the healthy fleet; when a
+// group's replicas are all down its keys spill to the next group on the
+// ring (every backend serves the same database — a spill answers
+// correctly, just from a colder cache) and return the moment the owner
+// heals. If no group is available the true owner is returned and the
+// forward fails there.
+func (r *Ring) PickAvailableHash(h uint64, avail func(group int) bool) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	for k := 0; k < len(r.points); k++ {
+		idx := r.points[(i+k)%len(r.points)].idx
+		if avail(idx) {
+			return idx
+		}
+	}
+	return r.points[i].idx
+}
+
 // Hash is the routing hash: 64-bit FNV-1a, the same function the service
 // uses to spread canonical keys over its internal shards.
 func Hash(key []byte) uint64 {
@@ -118,12 +144,15 @@ func Hash(key []byte) uint64 {
 }
 
 // ParseGroups parses the -route flag syntax: groups separated by ';',
-// replica addresses within a group by ','. Groups are named g0, g1, ...
-// in order (names derive ring positions, so the flag order is part of
-// the fleet's placement contract).
+// replica addresses within a group by ','. Each replica is either an
+// HTTP address or "httpaddr|wireaddr" when the backend also exposes the
+// binary wire listener (the wire proxy only uses replicas that declare
+// one). Groups are named g0, g1, ... in order (names derive ring
+// positions, so the flag order is part of the fleet's placement
+// contract).
 //
-//	"10.0.0.1:7743,10.0.0.2:7743;10.0.1.1:7743"
-//	→ g0{10.0.0.1:7743 10.0.0.2:7743}, g1{10.0.1.1:7743}
+//	"10.0.0.1:7743,10.0.0.2:7743;10.0.1.1:7743|10.0.1.1:7744"
+//	→ g0{10.0.0.1:7743 10.0.0.2:7743}, g1{10.0.1.1:7743 wire 10.0.1.1:7744}
 func ParseGroups(spec string) ([]Backend, error) {
 	var groups []Backend
 	for _, g := range strings.Split(spec, ";") {
@@ -131,16 +160,32 @@ func ParseGroups(spec string) ([]Backend, error) {
 		if g == "" {
 			continue
 		}
-		var addrs []string
+		var addrs, wireAddrs []string
+		anyWire := false
 		for _, a := range strings.Split(g, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				addrs = append(addrs, a)
+			if a = strings.TrimSpace(a); a == "" {
+				continue
 			}
+			http, wire, found := strings.Cut(a, "|")
+			http, wire = strings.TrimSpace(http), strings.TrimSpace(wire)
+			if http == "" {
+				return nil, fmt.Errorf("route: replica %q has no HTTP address", a)
+			}
+			if found && wire == "" {
+				return nil, fmt.Errorf("route: replica %q declares an empty wire address", a)
+			}
+			addrs = append(addrs, http)
+			wireAddrs = append(wireAddrs, wire)
+			anyWire = anyWire || wire != ""
 		}
 		if len(addrs) == 0 {
 			continue
 		}
-		groups = append(groups, Backend{Name: "g" + strconv.Itoa(len(groups)), Addrs: addrs})
+		b := Backend{Name: "g" + strconv.Itoa(len(groups)), Addrs: addrs}
+		if anyWire {
+			b.WireAddrs = wireAddrs
+		}
+		groups = append(groups, b)
 	}
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("route: %q names no backend groups", spec)

@@ -168,6 +168,8 @@ func fakeBackend(t *testing.T, name string, seen *sync.Map) *httptest.Server {
 			json.NewEncoder(w).Encode(&resp) //nolint:errcheck
 		case r.URL.Path == "/v1/meta":
 			fmt.Fprintf(w, `{"backend":%q}`, name)
+		case r.URL.Path == "/v1/healthz":
+			fmt.Fprint(w, `{"status":"ok"}`)
 		default:
 			http.NotFound(w, r)
 		}

@@ -1,0 +1,616 @@
+package route
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qosrma/internal/ops"
+	"qosrma/internal/resilience"
+	"qosrma/internal/wire"
+)
+
+// WireProxy extends the routing tier to the binary wire protocol: it
+// accepts wire connections, splits each DecideRequest micro-batch by the
+// same consistent-hash placement the JSON proxy uses (the canonical
+// routing key is rendered from the Meta frame's interned benchmark
+// table, so both codecs agree on ownership), forwards the sub-batches
+// over pooled backend wire connections, and merges the answers into one
+// response echoing the client's sequence number.
+//
+// Failover semantics match the JSON path: per-replica circuit breakers
+// (separate from the HTTP breakers — the wire listener can die alone),
+// the shared health prober, bounded retries with backoff, and ring
+// spill when a whole group is out. A backend's drain goaway (Error
+// frame, code Unavailable) is a retryable replica failure, so draining
+// backends hand their in-flight keys to siblings without client-visible
+// errors. Pooled connections that died while idle are rebuilt on demand
+// (dial-with-backoff happens inside the same retry loop).
+type WireProxy struct {
+	p  *Proxy
+	ln net.Listener
+
+	// Wire-capable replicas (indices into p.replicas with a wire addr).
+	pools   []*wirePool // parallel to p.replicas; nil = no wire listener
+	byGroup [][]int
+	all     []int
+	rr      []atomic.Uint32
+	ar      atomic.Uint32
+
+	metaMu  sync.Mutex
+	metaRaw []byte            // cached complete Meta frame (header+payload)
+	benches map[uint16]string // interned bench ID → name, from Meta
+
+	requests atomic.Uint64
+	splits   atomic.Uint64
+	failures atomic.Uint64
+	retried  *ops.Counter
+	attempts *ops.Counter
+	dials    *ops.Counter
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// wirePool is one replica's wire-connection pool: idle connections are
+// reused, dead ones dropped, and a breaker isolates the replica.
+type wirePool struct {
+	addr    string
+	breaker *resilience.Breaker
+
+	mu   sync.Mutex
+	idle []*wireConn
+}
+
+// wireConn is one pooled backend connection with its framing reader and
+// write scratch.
+type wireConn struct {
+	c   net.Conn
+	r   *wire.Reader
+	buf []byte
+}
+
+// ServeWire starts proxying the binary wire protocol on ln. Call once;
+// the returned WireProxy is also closed by Proxy.Close.
+func (p *Proxy) ServeWire(ln net.Listener) *WireProxy {
+	wp := &WireProxy{
+		p:       p,
+		ln:      ln,
+		pools:   make([]*wirePool, len(p.replicas)),
+		byGroup: make([][]int, len(p.groups)),
+		rr:      make([]atomic.Uint32, len(p.groups)),
+		benches: make(map[uint16]string),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for ri := range p.replicas {
+		rep := &p.replicas[ri]
+		if rep.wireAddr == "" {
+			continue
+		}
+		bopt := p.opt.Breaker
+		prev := bopt.OnStateChange
+		bopt.OnStateChange = func(from, to resilience.BreakerState) {
+			p.breakTo[to].Inc()
+			if prev != nil {
+				prev(from, to)
+			}
+		}
+		wp.pools[ri] = &wirePool{addr: rep.wireAddr, breaker: resilience.NewBreaker(bopt)}
+		wp.byGroup[rep.group] = append(wp.byGroup[rep.group], ri)
+		wp.all = append(wp.all, ri)
+	}
+	wp.retried = p.reg.Counter("qosrmad_route_wire_retries_total",
+		"Wire forward attempts retried after a failure.", "")
+	wp.attempts = p.reg.Counter("qosrmad_route_wire_attempt_failures_total",
+		"Individual wire forward attempts that failed.", "")
+	wp.dials = p.reg.Counter("qosrmad_route_wire_dials_total",
+		"Backend wire connections dialed (reconnects included).", "")
+	p.reg.CounterFunc("qosrmad_route_wire_requests_total",
+		"Wire decide requests handled by the routing tier.", "",
+		func() float64 { return float64(wp.requests.Load()) })
+	p.reg.CounterFunc("qosrmad_route_wire_splits_total",
+		"Wire decide requests that spanned more than one backend group.", "",
+		func() float64 { return float64(wp.splits.Load()) })
+	p.reg.CounterFunc("qosrmad_route_wire_exhausted_total",
+		"Wire forwards that exhausted every attempt.", "",
+		func() float64 { return float64(wp.failures.Load()) })
+	p.wire = wp
+	wp.wg.Add(1)
+	go wp.serve()
+	return wp
+}
+
+// Addr is the wire listener's address.
+func (wp *WireProxy) Addr() string { return wp.ln.Addr().String() }
+
+// Stats reports wire decide requests handled, splits and exhausted
+// forwards.
+func (wp *WireProxy) Stats() (requests, splits, failures uint64) {
+	return wp.requests.Load(), wp.splits.Load(), wp.failures.Load()
+}
+
+// Close stops accepting, closes client connections and the pools.
+func (wp *WireProxy) Close() {
+	wp.closeOnce.Do(func() { wp.ln.Close() })
+	wp.mu.Lock()
+	for c := range wp.conns {
+		c.Close()
+	}
+	wp.mu.Unlock()
+	wp.wg.Wait()
+	for _, pool := range wp.pools {
+		if pool != nil {
+			pool.drop()
+		}
+	}
+}
+
+func (wp *WireProxy) track(c net.Conn) bool {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	if wp.conns == nil {
+		return false
+	}
+	wp.conns[c] = struct{}{}
+	return true
+}
+
+func (wp *WireProxy) untrack(c net.Conn) {
+	wp.mu.Lock()
+	delete(wp.conns, c)
+	wp.mu.Unlock()
+}
+
+func (wp *WireProxy) serve() {
+	defer wp.wg.Done()
+	for {
+		c, err := wp.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !wp.track(c) {
+			c.Close()
+			continue
+		}
+		wp.wg.Add(1)
+		go wp.serveConn(c)
+	}
+}
+
+// serveConn is one client connection's frame loop.
+func (wp *WireProxy) serveConn(c net.Conn) {
+	defer wp.wg.Done()
+	defer wp.untrack(c)
+	defer c.Close()
+	r := wire.NewReader(c)
+	var (
+		req   wire.DecideRequest
+		out   []byte
+		errB  []byte
+		merge mergeState
+	)
+	for {
+		typ, payload, err := r.Next()
+		if err != nil {
+			if errors.Is(err, wire.ErrVersion) || errors.Is(err, wire.ErrTooLarge) {
+				code := byte(wire.ErrCodeUnsupported)
+				if errors.Is(err, wire.ErrTooLarge) {
+					code = wire.ErrCodeTooLarge
+				}
+				errB = wire.AppendError(errB[:0], 0, code, err.Error())
+				c.Write(errB) //nolint:errcheck // closing anyway
+			}
+			return
+		}
+		switch typ {
+		case wire.TypeHello:
+			meta, err := wp.ensureMeta()
+			if err != nil {
+				errB = wire.AppendError(errB[:0], 0, wire.ErrCodeUnavailable,
+					"no backend answered Hello: "+err.Error())
+				if _, werr := c.Write(errB); werr != nil {
+					return
+				}
+				continue
+			}
+			if _, err := c.Write(meta); err != nil {
+				return
+			}
+		case wire.TypeDecideRequest:
+			wp.requests.Add(1)
+			if err := wire.ParseDecideRequest(payload, &req); err != nil {
+				errB = wire.AppendError(errB[:0], req.Seq, wire.ErrCodeMalformed, err.Error())
+				if _, werr := c.Write(errB); werr != nil {
+					return
+				}
+				continue
+			}
+			out = wp.handleDecide(out[:0], payload, &req, &merge)
+			if _, err := c.Write(out); err != nil {
+				return
+			}
+		default:
+			errB = wire.AppendError(errB[:0], 0, wire.ErrCodeUnsupported,
+				fmt.Sprintf("unexpected frame type %#x", typ))
+			if _, err := c.Write(errB); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// mergeState is per-connection scratch for split decide merging.
+type mergeState struct {
+	key      []byte
+	groups   [][]int
+	sub      wire.DecideRequest
+	subFrame []byte
+	respBuf  []byte
+	resp     wire.DecideResponse
+	decided  []bool
+	settings []wire.Setting
+}
+
+// handleDecide routes one parsed decide request and appends the complete
+// response frame (DecideResponse or Error) to dst. payload is the raw
+// request payload, reused verbatim for the single-group fast path.
+func (wp *WireProxy) handleDecide(dst []byte, payload []byte, req *wire.DecideRequest, m *mergeState) []byte {
+	count := req.Count()
+	n := int(req.NCores)
+
+	// Benchmark names for the canonical routing key come from Meta; if no
+	// backend has answered one yet the interned IDs stand in (placement
+	// is still deterministic, just not aligned with the JSON path's).
+	wp.ensureMeta() //nolint:errcheck // fallback rendering below
+
+	if m.groups == nil || len(m.groups) != len(wp.p.groups) {
+		m.groups = make([][]int, len(wp.p.groups))
+	}
+	for g := range m.groups {
+		m.groups[g] = m.groups[g][:0]
+	}
+	pick := wp.p.groupPicker()
+	distinct, split := -1, false
+	for qi := 0; qi < count; qi++ {
+		m.key = wp.routingKey(m.key[:0], req, qi)
+		g := pick(m.key)
+		m.groups[g] = append(m.groups[g], qi)
+		if distinct == -1 {
+			distinct = g
+		} else if g != distinct {
+			split = true
+		}
+	}
+
+	if !split {
+		// One owning group: forward the original frame bytes untouched.
+		m.subFrame = wire.AppendHeader(m.subFrame[:0], wire.TypeDecideRequest, len(payload))
+		m.subFrame = append(m.subFrame, payload...)
+		typ, resp, err := wp.forward(distinct, m.subFrame, m.respBuf[:0])
+		m.respBuf = resp[:0]
+		if err != nil {
+			return wire.AppendError(dst, req.Seq, wire.ErrCodeUnavailable, err.Error())
+		}
+		return wp.relay(dst, req.Seq, typ, resp)
+	}
+	wp.splits.Add(1)
+
+	if cap(m.decided) < count {
+		m.decided = make([]bool, count)
+	}
+	m.decided = m.decided[:count]
+	if cap(m.settings) < count*n {
+		m.settings = make([]wire.Setting, count*n)
+	}
+	m.settings = m.settings[:count*n]
+
+	for g, idx := range m.groups {
+		if len(idx) == 0 {
+			continue
+		}
+		m.sub = wire.DecideRequest{
+			Seq:    req.Seq,
+			DBHash: req.DBHash,
+			Scheme: req.Scheme,
+			Model:  req.Model,
+			Flags:  req.Flags,
+			NCores: req.NCores,
+			Slack:  req.Slack,
+			Slacks: append(m.sub.Slacks[:0], req.Slacks...),
+			Apps:   m.sub.Apps[:0],
+		}
+		for _, qi := range idx {
+			m.sub.Apps = append(m.sub.Apps, req.Apps[qi*n:(qi+1)*n]...)
+		}
+		m.subFrame = wire.AppendDecideRequest(m.subFrame[:0], &m.sub)
+		typ, resp, err := wp.forward(g, m.subFrame, m.respBuf[:0])
+		m.respBuf = resp[:0]
+		if err != nil {
+			return wire.AppendError(dst, req.Seq, wire.ErrCodeUnavailable,
+				fmt.Sprintf("backend group %s: %v", wp.p.ring.Backends()[g].Name, err))
+		}
+		if typ != wire.TypeDecideResponse {
+			// Propagate the backend's own error (stale DB, malformed)
+			// verbatim — it already echoes the client's sequence number.
+			return wp.relay(dst, req.Seq, typ, resp)
+		}
+		if err := wire.ParseDecideResponse(resp, &m.resp); err != nil {
+			return wire.AppendError(dst, req.Seq, wire.ErrCodeMalformed,
+				"backend response: "+err.Error())
+		}
+		if len(m.resp.Decided) != len(idx) || int(m.resp.NCores) != n {
+			return wire.AppendError(dst, req.Seq, wire.ErrCodeMalformed,
+				fmt.Sprintf("backend group %s answered %d results for %d queries",
+					wp.p.ring.Backends()[g].Name, len(m.resp.Decided), len(idx)))
+		}
+		for j, qi := range idx {
+			m.decided[qi] = m.resp.Decided[j]
+			copy(m.settings[qi*n:(qi+1)*n], m.resp.Settings[j*n:(j+1)*n])
+		}
+	}
+	return wire.AppendDecideResponse(dst, &wire.DecideResponse{
+		Seq:      req.Seq,
+		NCores:   req.NCores,
+		Decided:  m.decided,
+		Settings: m.settings,
+	})
+}
+
+// relay appends a backend frame (response or error) for the client,
+// rebuilding the header around the payload bytes.
+func (wp *WireProxy) relay(dst []byte, seq uint32, typ byte, payload []byte) []byte {
+	if typ != wire.TypeDecideResponse && typ != wire.TypeError {
+		return wire.AppendError(dst, seq, wire.ErrCodeMalformed,
+			fmt.Sprintf("backend answered unexpected frame type %#x", typ))
+	}
+	dst = wire.AppendHeader(dst, typ, len(payload))
+	return append(dst, payload...)
+}
+
+// errFrame reports a backend Error frame treated as an attempt failure
+// (code Unavailable: the replica is draining or closed).
+type errFrame struct {
+	code byte
+	msg  string
+}
+
+func (e *errFrame) Error() string {
+	return fmt.Sprintf("backend error frame code %d: %s", e.code, e.msg)
+}
+
+// forward runs the retry loop for one request frame against group g,
+// mirroring the JSON proxy: bounded retries with backoff, per-replica
+// breakers, prober health, ring spill when the group has no wire-capable
+// replica left. The response payload is appended to respBuf (a copy —
+// it must outlive the pooled connection's read buffer).
+func (wp *WireProxy) forward(g int, frame []byte, respBuf []byte) (byte, []byte, error) {
+	attempts := 1 + wp.p.opt.retries() // decide frames are idempotent
+	var lastErr error
+	tried := -1
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			wp.retried.Inc()
+			time.Sleep(wp.p.opt.Backoff.Delay(a-1, wp.p.rnd))
+		}
+		ri := wp.pick(g, tried)
+		if ri < 0 {
+			ri = wp.pick(-1, tried)
+		}
+		if ri < 0 {
+			lastErr = errNoReplica
+			continue
+		}
+		tried = ri
+		pool := wp.pools[ri]
+		typ, resp, err := pool.roundTrip(wp.dials, wp.p.opt.attemptTimeout(), frame, respBuf)
+		if err == nil && typ == wire.TypeError {
+			if _, code, msg, perr := wire.ParseError(resp); perr == nil && code == wire.ErrCodeUnavailable {
+				err = &errFrame{code: code, msg: msg}
+			}
+		}
+		if err != nil {
+			pool.breaker.Failure()
+			wp.attempts.Inc()
+			lastErr = err
+			continue
+		}
+		pool.breaker.Success()
+		return typ, resp, nil
+	}
+	wp.failures.Add(1)
+	if lastErr == nil {
+		lastErr = errNoReplica
+	}
+	return 0, respBuf, lastErr
+}
+
+// pick selects the next admitted wire-capable replica of group g
+// (rotating), skipping skip; g < 0 means any group.
+func (wp *WireProxy) pick(g, skip int) int {
+	idxs := wp.all
+	var ctr *atomic.Uint32
+	if g >= 0 {
+		idxs = wp.byGroup[g]
+		ctr = &wp.rr[g]
+	} else {
+		ctr = &wp.ar
+	}
+	if len(idxs) == 0 {
+		return -1
+	}
+	start := int(ctr.Add(1))
+	for k := 0; k < len(idxs); k++ {
+		ri := idxs[(start+k)%len(idxs)]
+		if ri == skip || !wp.p.replicaHealthy(ri) {
+			continue
+		}
+		if !wp.pools[ri].breaker.Allow() {
+			continue
+		}
+		return ri
+	}
+	return -1
+}
+
+// ensureMeta returns the cached complete Meta frame, fetching it from
+// the first wire replica that answers a Hello when not yet cached. The
+// benchmark table it carries also feeds the canonical routing key.
+func (wp *WireProxy) ensureMeta() ([]byte, error) {
+	wp.metaMu.Lock()
+	defer wp.metaMu.Unlock()
+	if wp.metaRaw != nil {
+		return wp.metaRaw, nil
+	}
+	hello := wire.AppendHello(nil)
+	var lastErr error
+	for _, ri := range wp.all {
+		pool := wp.pools[ri]
+		if !pool.breaker.Allow() {
+			continue
+		}
+		typ, resp, err := pool.roundTrip(wp.dials, wp.p.opt.attemptTimeout(), hello, nil)
+		if err != nil || typ != wire.TypeMeta {
+			pool.breaker.Failure()
+			if err == nil {
+				err = fmt.Errorf("replica %s answered frame type %#x to Hello", pool.addr, typ)
+			}
+			lastErr = err
+			continue
+		}
+		pool.breaker.Success()
+		var meta wire.Meta
+		if err := wire.ParseMeta(resp, &meta); err != nil {
+			lastErr = err
+			continue
+		}
+		for _, b := range meta.Benches {
+			wp.benches[b.ID] = b.Name
+		}
+		wp.metaRaw = wire.AppendHeader(nil, wire.TypeMeta, len(resp))
+		wp.metaRaw = append(wp.metaRaw, resp...)
+		return wp.metaRaw, nil
+	}
+	if lastErr == nil {
+		lastErr = errNoReplica
+	}
+	return nil, lastErr
+}
+
+// wireSchemeNames maps interned scheme IDs to the canonical lowercased
+// names the JSON path routes by, keeping both codecs' placement aligned.
+var wireSchemeNames = [...]string{"static", "dvfs", "rm1", "rm2", "rm3", "ucp"}
+
+// routingKey renders query qi of req in the same canonical form as
+// RoutingKey renders a JSON query, so a key decided over HTTP and the
+// same key decided over the wire land on the same backend LRU.
+func (wp *WireProxy) routingKey(dst []byte, req *wire.DecideRequest, qi int) []byte {
+	if int(req.Scheme) < len(wireSchemeNames) {
+		dst = append(dst, wireSchemeNames[req.Scheme]...)
+	} else {
+		dst = strconv.AppendInt(dst, int64(req.Scheme), 10)
+	}
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, int64(req.Model), 10)
+	dst = append(dst, '/')
+	switch {
+	case req.Flags&wire.FlagSlackPerCore != 0:
+		for i, v := range req.Slacks {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+		}
+	case req.Flags&wire.FlagSlackUniform != 0 && req.Slack != 0:
+		dst = strconv.AppendFloat(dst, req.Slack, 'g', -1, 64)
+	}
+	n := int(req.NCores)
+	wp.metaMu.Lock()
+	for _, a := range req.Apps[qi*n : (qi+1)*n] {
+		dst = append(dst, '|')
+		if name, ok := wp.benches[a.Bench]; ok {
+			dst = append(dst, name...)
+		} else {
+			dst = append(dst, '#')
+			dst = strconv.AppendInt(dst, int64(a.Bench), 10)
+		}
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(a.Phase), 10)
+	}
+	wp.metaMu.Unlock()
+	return dst
+}
+
+// get pops an idle connection or dials a fresh one.
+func (pool *wirePool) get(dials *ops.Counter, timeout time.Duration) (*wireConn, error) {
+	pool.mu.Lock()
+	if n := len(pool.idle); n > 0 {
+		wc := pool.idle[n-1]
+		pool.idle = pool.idle[:n-1]
+		pool.mu.Unlock()
+		return wc, nil
+	}
+	pool.mu.Unlock()
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", pool.addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	dials.Inc()
+	return &wireConn{c: c, r: wire.NewReader(c)}, nil
+}
+
+// put returns a healthy connection to the pool.
+func (pool *wirePool) put(wc *wireConn) {
+	pool.mu.Lock()
+	pool.idle = append(pool.idle, wc)
+	pool.mu.Unlock()
+}
+
+// drop closes every idle connection.
+func (pool *wirePool) drop() {
+	pool.mu.Lock()
+	idle := pool.idle
+	pool.idle = nil
+	pool.mu.Unlock()
+	for _, wc := range idle {
+		wc.c.Close()
+	}
+}
+
+// roundTrip writes one request frame and reads one response frame,
+// appending the payload to respBuf (copied out of the connection's read
+// buffer). Any error closes the connection instead of pooling it — the
+// next attempt reconnects.
+func (pool *wirePool) roundTrip(dials *ops.Counter, timeout time.Duration, frame []byte, respBuf []byte) (byte, []byte, error) {
+	wc, err := pool.get(dials, timeout)
+	if err != nil {
+		return 0, respBuf, err
+	}
+	if timeout > 0 {
+		wc.c.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck // net.TCPConn deadlines cannot fail
+	}
+	if _, err := wc.c.Write(frame); err != nil {
+		wc.c.Close()
+		return 0, respBuf, fmt.Errorf("replica %s: %w", pool.addr, err)
+	}
+	typ, payload, err := wc.r.Next()
+	if err != nil {
+		wc.c.Close()
+		return 0, respBuf, fmt.Errorf("replica %s: %w", pool.addr, err)
+	}
+	respBuf = append(respBuf, payload...)
+	if timeout > 0 {
+		wc.c.SetDeadline(time.Time{}) //nolint:errcheck // net.TCPConn deadlines cannot fail
+	}
+	pool.put(wc)
+	return typ, respBuf, nil
+}

@@ -560,6 +560,11 @@ func (sn *snapshot) settingsJSON(settings []arch.Setting) []SettingJSON {
 
 // handleDecide is POST /v1/decide.
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if !s.gate.TryAcquire() {
+		writeUnavailable(w, errOverloaded)
+		return
+	}
+	defer s.gate.Release()
 	sn := s.snap.Load()
 	var req DecideRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {

@@ -116,6 +116,19 @@ func (s *Server) initMetrics() {
 	r.CounterFunc("qosrmad_wire_decode_errors_total",
 		"Malformed or unframeable binary-protocol input events.", "",
 		func() float64 { return float64(s.wire.decodeErrs.Load()) })
+	r.CounterFunc("qosrmad_wire_goaways_total",
+		"Drain farewell (goaway) frames sent on binary-protocol connections.", "",
+		func() float64 { return float64(s.wire.goaways.Load()) })
+
+	r.GaugeFunc("qosrmad_inflight_requests",
+		"Decide/score requests currently inside the load-shed gate.", "",
+		func() float64 { return float64(s.gate.Inflight()) })
+	r.GaugeFunc("qosrmad_inflight_limit",
+		"Load-shed gate capacity (0 when the gate is disabled).", "",
+		func() float64 { return float64(s.gate.Limit()) })
+	r.CounterFunc("qosrmad_shed_total",
+		"Decide/score requests refused with 503 by the load-shed gate.", "",
+		func() float64 { return float64(s.gate.Shed()) })
 
 	for _, state := range []string{"running", "done", "failed"} {
 		state := state

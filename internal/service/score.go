@@ -66,6 +66,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeUnavailable(w, errDraining)
 		return
 	}
+	if !s.gate.TryAcquire() {
+		writeUnavailable(w, errOverloaded)
+		return
+	}
+	defer s.gate.Release()
 	s.metrics.scoreRequests.Inc()
 	sn := s.snap.Load()
 	var req ScoreRequest

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"qosrma/internal/ops"
+	"qosrma/internal/resilience"
 	"qosrma/internal/simdb"
 	"qosrma/internal/sweep"
 )
@@ -59,6 +60,11 @@ type Options struct {
 	// oldest finished job is evicted, and submits are refused with 429
 	// while every slot is running.
 	MaxJobs int
+	// MaxInflight bounds concurrently served decide/score requests: at
+	// the limit the server answers 503 + Retry-After immediately instead
+	// of queueing without bound (load shedding). 0 selects the default
+	// 1024; negative disables the gate.
+	MaxInflight int
 
 	// Source labels the initial database in /admin/status and /v1/meta
 	// (default "built").
@@ -99,6 +105,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 64
 	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 1024
+	}
 	if o.Source == "" {
 		o.Source = "built"
 	}
@@ -131,14 +140,22 @@ type Server struct {
 	stateMu sync.RWMutex
 	closed  bool
 
+	// gate sheds decide/score load beyond Options.MaxInflight (nil =
+	// unlimited).
+	gate *resilience.Gate
+
 	// Binary serving path (wireserver.go): counters plus the listener and
 	// connection sets Close tears down. wireDone refuses registration once
-	// the server has closed.
-	wire      wireStats
-	wireMu    sync.Mutex
-	wireLns   map[net.Listener]struct{}
-	wireConns map[net.Conn]struct{}
-	wireDone  bool
+	// the server has closed; wireDraining makes connection loops answer
+	// their in-flight frame, send a goaway Error frame and exit, with
+	// wireWG counting the loops still running.
+	wire         wireStats
+	wireMu       sync.Mutex
+	wireLns      map[net.Listener]struct{}
+	wireConns    map[net.Conn]struct{}
+	wireDone     bool
+	wireDraining bool
+	wireWG       sync.WaitGroup
 
 	// draining refuses new decide/score/sweep work during Shutdown while
 	// status endpoints keep answering; jobMu serializes the draining flag
@@ -157,6 +174,10 @@ var errServerClosed = errors.New("service: server is closed")
 // errDraining is the answer for new work during graceful shutdown.
 var errDraining = errors.New("service: server is draining")
 
+// errOverloaded is the load-shed answer once MaxInflight decide/score
+// requests are already in flight.
+var errOverloaded = errors.New("service: overloaded, request shed")
+
 // New builds a server over the database. The sweep engine carries the
 // single-flight result cache /v1/sweep jobs share; pass nil for a private
 // engine.
@@ -172,6 +193,7 @@ func New(db *simdb.DB, engine *sweep.Engine, opt Options) *Server {
 		started: time.Now(),
 	}
 	s.snap.Store(s.newSnapshot(db, s.opt.Source))
+	s.gate = resilience.NewGate(s.opt.MaxInflight)
 	s.jobs = newJobTable(s.opt.MaxJobs)
 	s.jobSem = make(chan struct{}, 1)
 	s.shards = make([]*shard, s.opt.Shards)
@@ -245,7 +267,8 @@ func (s *Server) Close() {
 // Shutdown gracefully drains the server: new decide/score/sweep requests
 // are refused with 503 (Retry-After: 1) while status endpoints keep
 // answering, running sweep jobs and in-flight decide fan-outs complete,
-// and the shard workers stop. It returns nil when the drain finished
+// wire connections finish their in-flight frame and receive a goaway
+// Error frame, and the shard workers stop. It returns nil when the drain finished
 // within ctx, or ctx.Err() after forcing an immediate close at the
 // deadline (in-flight work still completes in the background — nothing is
 // dropped, the caller just stops waiting). Callers typically pair it with
@@ -262,6 +285,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() { s.jobWG.Wait(); close(jobsDone) }()
 	select {
 	case <-jobsDone:
+	case <-ctx.Done():
+		go s.Close()
+		return ctx.Err()
+	}
+
+	// Phase 1b: wire connections. Listeners stop accepting, every
+	// connection loop finishes the frame it is reading, answers it, sends
+	// a goaway Error frame (Unavailable) and exits; clients treat the
+	// goaway as a signal to fail over.
+	s.drainWire()
+	wireDone := make(chan struct{})
+	go func() { s.wireWG.Wait(); close(wireDone) }()
+	select {
+	case <-wireDone:
 	case <-ctx.Done():
 		go s.Close()
 		return ctx.Err()

@@ -26,6 +26,7 @@ import (
 	"io"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"qosrma/internal/core"
 	"qosrma/internal/simdb"
@@ -40,6 +41,7 @@ type wireStats struct {
 	frames     atomic.Uint64 // frames decoded (any type)
 	queries    atomic.Uint64 // decide queries answered over the wire
 	decodeErrs atomic.Uint64 // malformed/unframeable input events
+	goaways    atomic.Uint64 // drain farewell frames sent
 }
 
 // ServeWire accepts connections on ln and serves the binary decide
@@ -66,11 +68,13 @@ func (s *Server) ServeWire(ln net.Listener) error {
 }
 
 // trackWire registers a listener or connection for teardown by Close,
-// refusing (false) once the server is closed.
+// refusing (false) once the server is closed or draining. A tracked
+// connection joins wireWG, which Shutdown waits on; untrackWire leaves
+// it.
 func (s *Server) trackWire(ln net.Listener, c net.Conn) bool {
 	s.wireMu.Lock()
 	defer s.wireMu.Unlock()
-	if s.wireDone {
+	if s.wireDone || s.wireDraining {
 		return false
 	}
 	if ln != nil {
@@ -84,6 +88,7 @@ func (s *Server) trackWire(ln net.Listener, c net.Conn) bool {
 			s.wireConns = make(map[net.Conn]struct{})
 		}
 		s.wireConns[c] = struct{}{}
+		s.wireWG.Add(1)
 	}
 	return true
 }
@@ -96,13 +101,33 @@ func (s *Server) untrackWire(ln net.Listener, c net.Conn) {
 	}
 	if c != nil {
 		delete(s.wireConns, c)
+		s.wireWG.Done()
 	}
 }
 
 func (s *Server) wireClosed() bool {
 	s.wireMu.Lock()
 	defer s.wireMu.Unlock()
-	return s.wireDone
+	return s.wireDone || s.wireDraining
+}
+
+// drainWire starts the binary path's graceful drain: listeners stop
+// accepting, no new connection registers, and every open connection's
+// blocked read is woken (via an immediate read deadline) so its serve
+// loop can answer the frame it already holds, send the goaway Error
+// frame and exit. Unlike closeWire it leaves established connections
+// open for that farewell; Shutdown waits on wireWG for the loops.
+func (s *Server) drainWire() {
+	s.wireMu.Lock()
+	s.wireDraining = true
+	for ln := range s.wireLns {
+		ln.Close()
+	}
+	s.wireLns = nil
+	for c := range s.wireConns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.wireMu.Unlock()
 }
 
 // closeWire tears down the binary serving path: no new listeners or
@@ -147,6 +172,10 @@ type wireScratch struct {
 // serveWireConn runs one connection's serve loop.
 func (s *Server) serveWireConn(c net.Conn) {
 	if !s.trackWire(nil, c) {
+		// Refused because the server is draining or closed: send the
+		// goaway frame as a courtesy so the client fails over instead of
+		// diagnosing a bare reset.
+		s.writeWireGoaway(bufio.NewWriterSize(c, 256))
 		c.Close()
 		return
 	}
@@ -162,6 +191,12 @@ func (s *Server) serveWireConn(c net.Conn) {
 	for {
 		typ, payload, err := r.Next()
 		if err != nil {
+			if s.wireClosed() {
+				// drainWire woke the read (or ended it mid-frame): say
+				// goodbye so the client retries against a sibling.
+				s.writeWireGoaway(bw)
+				return
+			}
 			// Unframeable streams get a last-gasp error frame; plain I/O
 			// errors (including clean EOF) just end the connection.
 			switch {
@@ -195,7 +230,21 @@ func (s *Server) serveWireConn(c net.Conn) {
 				return
 			}
 		}
+		if s.wireClosed() {
+			// The in-flight frame was answered above; now announce the
+			// drain and end the connection.
+			s.writeWireGoaway(bw)
+			return
+		}
 	}
+}
+
+// writeWireGoaway emits the drain farewell: an Error frame (seq 0, code
+// Unavailable) that clients interpret as "this replica is leaving,
+// retry elsewhere".
+func (s *Server) writeWireGoaway(bw *bufio.Writer) {
+	s.wire.goaways.Add(1)
+	s.writeWireError(bw, 0, wire.ErrCodeUnavailable, "server draining (goaway)")
 }
 
 // wireSeqOf best-effort extracts the leading sequence number of a payload

@@ -329,6 +329,10 @@ type ServeSpec struct {
 	// AuditSamples bounds cached decisions re-verified per audit
 	// (default 16).
 	AuditSamples int
+	// MaxInflight bounds concurrently served decide/score requests; at
+	// the limit the server sheds load with 503 + Retry-After (0 =
+	// default 1024, negative disables the gate).
+	MaxInflight int
 }
 
 // NewServer builds the decision service handler over this system's
@@ -356,6 +360,7 @@ func (s *System) NewServer(spec ServeSpec) *Server {
 		Reloader:      reloader,
 		AuditInterval: spec.AuditInterval,
 		AuditSamples:  spec.AuditSamples,
+		MaxInflight:   spec.MaxInflight,
 	})
 }
 
