@@ -23,7 +23,8 @@ MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulateP
 # benchstat comparison is noise.
 MICRO_FLAGS ?= -benchtime=0.2s -count=5
 
-.PHONY: all build test test-short lint bench benchbase benchdiff pprof example-cluster \
+.PHONY: all build test test-short lint shlint vet-suite escape-check escape-baseline \
+	bench benchbase benchdiff pprof example-cluster \
 	loadtest loadtest-wire chaos determinism golden cover cover-check fuzz-smoke docs-check clean
 
 all: build lint test
@@ -39,12 +40,35 @@ test:
 test-short:
 	$(GO) test -short -race ./...
 
-lint:
+lint: shlint vet-suite
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+
+# The repo-specific analyzer suite (cmd/qosrmavet, docs/analysis.md):
+# determinism, noalloc, shardowned, ctxdeadline and exhaustive over the
+# whole module, at a zero-finding baseline. Findings land in
+# qosrmavet.txt (uploaded as a CI artifact on failure).
+vet-suite:
+	$(GO) run ./cmd/qosrmavet ./... 2>&1 | tee qosrmavet.txt
+
+# Shell hygiene for scripts/*.sh: bash shebang, set -euo pipefail, bash -n.
+shlint:
+	./scripts/shlint.sh
+
+# Compiler escape analysis over every //qosrma:noalloc function, diffed
+# against the committed baseline (internal/analysis/escape.baseline). A
+# new escape in a hot function fails here even when no AllocsPerRun pin
+# happens to cross it. Diff lands in escape.diff.txt for CI artifacts.
+escape-check:
+	$(GO) run ./cmd/qosrmavet -escape 2>&1 | tee escape.diff.txt
+
+# Rewrite the escape baseline from the current tree (review the diff
+# before committing: every new line is a new hot-path heap escape).
+escape-baseline:
+	$(GO) run ./cmd/qosrmavet -escape -update
 
 # One iteration per benchmark: a smoke run that still reports the paper
 # metrics (avgSavings% etc.), captured for the perf trajectory artifact.
@@ -140,6 +164,6 @@ pprof:
 	$(GO) tool pprof -top -nodecount=25 qosrma.test cpu.prof | tee pprof.txt
 
 clean:
-	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF) cpu.prof pprof.txt qosrma.test loadgen.txt loadgen.wire.txt chaos.txt
+	rm -f $(BENCH_OUT) $(BENCH_NEW) $(BENCH_DIFF) cpu.prof pprof.txt qosrma.test loadgen.txt loadgen.wire.txt chaos.txt qosrmavet.txt escape.diff.txt
 	rm -rf cover bin
 	$(GO) clean ./...

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Ctxdeadline proves that every outbound dial and raw-connection
+// read/write threads a deadline. A remote that stops answering must
+// never wedge a routing-tier goroutine. The rules, per function:
+//
+//   - net.Dial is always a finding (no deadline at all);
+//   - net.DialTimeout is fine when the timeout is provably positive — a
+//     positive constant, or a variable floored earlier in the function
+//     by the `if d <= 0 { d = default }` idiom;
+//   - http.NewRequest is always a finding (use NewRequestWithContext);
+//   - DialContext / NewRequestWithContext need a context that provably
+//     carries a deadline: derived unconditionally in the same function
+//     from context.WithTimeout or context.WithDeadline. A context that
+//     merely passes through (a parameter) proves nothing here — if the
+//     caller guarantees the deadline, say so with qosrma:allow;
+//   - Read/Write on a net.Conn must be preceded by an unconditional
+//     SetDeadline / SetReadDeadline / SetWriteDeadline in the same
+//     function ("unconditional" = not nested inside an if/switch/select,
+//     because a skippable deadline is exactly the hang bug).
+var Ctxdeadline = &Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "require provable deadlines on outbound dials, requests, and conn reads/writes",
+	Run:  runCtxdeadline,
+}
+
+func runCtxdeadline(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkDeadlines(pass, fd)
+			}
+		}
+	}
+}
+
+func checkDeadlines(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	floored := flooredVars(info, fd)
+	deadlineCtx, condSpans := deadlineContexts(info, fd)
+	var deadlineSets []token.Pos // positions of unconditional SetDeadline calls
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		switch name := fn.Name(); {
+		case isPkgFunc(fn, "net", "Dial"):
+			pass.Reportf(call.Pos(), "net.Dial connects without a deadline; use DialTimeout or DialContext with a bounded context")
+		case isPkgFunc(fn, "net", "DialTimeout"):
+			if len(call.Args) == 3 && !provablyPositive(info, call.Args[2], floored) {
+				pass.Reportf(call.Pos(), "net.DialTimeout timeout is not provably positive; floor it with `if d <= 0 { d = default }`")
+			}
+		case isPkgFunc(fn, "net/http", "NewRequest"):
+			pass.Reportf(call.Pos(), "http.NewRequest carries no context; use NewRequestWithContext with a deadline")
+		case isPkgFunc(fn, "net/http", "NewRequestWithContext"):
+			if len(call.Args) > 0 && !ctxHasDeadline(info, call.Args[0], deadlineCtx) {
+				pass.Reportf(call.Pos(), "context does not provably carry a deadline; derive it from context.WithTimeout/WithDeadline in this function (or qosrma:allow with the caller's guarantee)")
+			}
+		case name == "DialContext" && isDialerMethod(fn):
+			if len(call.Args) > 0 && !ctxHasDeadline(info, call.Args[0], deadlineCtx) {
+				pass.Reportf(call.Pos(), "context does not provably carry a deadline; derive it from context.WithTimeout/WithDeadline in this function (or qosrma:allow with the caller's guarantee)")
+			}
+		case name == "SetDeadline" || name == "SetReadDeadline" || name == "SetWriteDeadline":
+			if isNetConn(pass, info.TypeOf(sel.X)) && !inSpans(condSpans, call.Pos()) {
+				deadlineSets = append(deadlineSets, call.Pos())
+			}
+		case name == "Read" || name == "Write":
+			if isNetConn(pass, info.TypeOf(sel.X)) {
+				ok := false
+				for _, p := range deadlineSets {
+					if p < call.Pos() {
+						ok = true
+					}
+				}
+				if !ok {
+					pass.Reportf(call.Pos(), "%s on a net.Conn with no preceding unconditional SetDeadline in this function", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isPkgFunc(fn *types.Func, path, name string) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != path || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+func isDialerMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "net" && named.Obj().Name() == "Dialer"
+}
+
+// isNetConn reports whether t implements net.Conn (resolved through the
+// pass's own import of package net; a package that never imports net has
+// no conns to check).
+func isNetConn(pass *Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for _, imp := range pass.Pkg.Types.Imports() {
+		if imp.Path() != "net" {
+			continue
+		}
+		obj, ok := imp.Scope().Lookup("Conn").(*types.TypeName)
+		if !ok {
+			return false
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			return false
+		}
+		return types.Implements(t, iface)
+	}
+	return false
+}
+
+// flooredVars finds duration variables guarded by `if d <= 0 { d = ... }`
+// (or `< someBound`): after such a floor the variable is provably
+// positive for DialTimeout purposes.
+func flooredVars(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || (cond.Op != token.LEQ && cond.Op != token.LSS) {
+			return true
+		}
+		id, ok := cond.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		// The guard body must reassign the variable.
+		reassigns := false
+		ast.Inspect(ifs.Body, func(b ast.Node) bool {
+			if as, ok := b.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if lid, ok := lhs.(*ast.Ident); ok && info.ObjectOf(lid) == obj {
+						reassigns = true
+					}
+				}
+			}
+			return true
+		})
+		if reassigns {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+func provablyPositive(info *types.Info, e ast.Expr, floored map[types.Object]bool) bool {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return constant.Sign(tv.Value) > 0
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return floored[info.ObjectOf(id)]
+	}
+	return false
+}
+
+// deadlineContexts returns the context variables assigned unconditionally
+// in fd from context.WithTimeout / context.WithDeadline, plus the spans
+// of all conditional regions (used both here and for SetDeadline calls).
+func deadlineContexts(info *types.Info, fd *ast.FuncDecl) (map[types.Object]bool, []span) {
+	var condSpans []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			condSpans = append(condSpans, span{n.Pos(), n.End()})
+		case nil:
+		}
+		return true
+	})
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 1 || inSpans(condSpans, as.Pos()) {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || !(isPkgFunc(fn, "context", "WithTimeout") || isPkgFunc(fn, "context", "WithDeadline")) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out, condSpans
+}
+
+// ctxHasDeadline accepts a context argument that is either a direct
+// WithTimeout/WithDeadline call or a variable assigned from one
+// unconditionally in this function.
+func ctxHasDeadline(info *types.Info, e ast.Expr, deadlineCtx map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return deadlineCtx[info.ObjectOf(e)]
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+				return isPkgFunc(fn, "context", "WithTimeout") || isPkgFunc(fn, "context", "WithDeadline")
+			}
+		}
+	}
+	return false
+}

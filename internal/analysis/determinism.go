@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags sources of run-to-run nondeterminism in the
+// simulation and serving packages that promise bit-identical output:
+// wall-clock reads, the unseeded global math/rand source, and map
+// iteration inside functions that never sort. The map heuristic is
+// deliberately coarse — a function that ranges over a map and contains
+// no sort call anywhere cannot be emitting in a stable order; genuinely
+// order-insensitive reductions document themselves with
+// //qosrma:allow(determinism).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag time.Now, unseeded math/rand, and unsorted map iteration in deterministic packages",
+	Run:  runDeterminism,
+}
+
+// randExempt lists the math/rand package-level functions that construct
+// an explicitly seeded generator rather than drawing from the global
+// source.
+var randExempt = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(sel.Pos(), "time.Now breaks replay determinism; thread a clock or virtual time through the caller")
+				}
+			case "math/rand", "math/rand/v2":
+				if !randExempt[fn.Name()] {
+					pass.Reportf(sel.Pos(), "%s.%s draws from the unseeded global source; use an explicitly seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd)
+		}
+	}
+}
+
+// checkMapRanges flags `range` over a map inside a function that never
+// sorts: whatever order the loop observes leaks into the function's
+// effects. A call into package sort or a slices.Sort* call anywhere in
+// the function is taken as evidence the iteration order is laundered
+// through a sorted collection before use.
+func checkMapRanges(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	sorts := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				sorts = true
+			}
+		}
+		return true
+	})
+	if sorts {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			pass.Reportf(rng.Pos(), "map iteration order is nondeterministic and %s never sorts; collect and sort keys (or document with qosrma:allow)", fd.Name.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape check is the static complement of the AllocsPerRun pins:
+// it runs the compiler's own escape analysis (`go build -gcflags=-m=1`)
+// over every package containing //qosrma:noalloc functions, keeps the
+// "escapes to heap" / "moved to heap" diagnostics that fall inside an
+// annotated body, normalises them to `pkg.func: message` lines (sorted
+// and deduplicated, so they are stable against unrelated line drift),
+// and diffs them against the committed baseline. A new escape in a hot
+// function fails `make escape-check` even when the allocation hides
+// behind a branch no pin happens to take.
+
+var escapeLineRE = regexp.MustCompile(`^(\S+?):(\d+):\d+: (.*)$`)
+
+// funcRange locates one annotated function in compiler-diagnostic
+// coordinates (path relative to the module root).
+type funcRange struct {
+	pkg    string
+	name   string
+	file   string
+	lo, hi int
+}
+
+// EscapeDiff compares current escape-analysis output for all annotated
+// functions against the baseline file. It returns the diff as
+// human-readable lines ("+ new escape", "- escape no longer present");
+// an empty diff means the tree matches the baseline. With update set it
+// rewrites the baseline instead and returns nil.
+func EscapeDiff(root string, pkgs []*Package, baselinePath string, update bool) ([]string, error) {
+	var ranges []funcRange
+	pkgSet := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasAnnotation(fd.Doc, annoNoalloc) {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				rel, err := filepath.Rel(root, start.Filename)
+				if err != nil {
+					return nil, err
+				}
+				ranges = append(ranges, funcRange{
+					pkg:  pkg.Path,
+					name: funcDeclName(fd),
+					file: rel,
+					lo:   start.Line,
+					hi:   end.Line,
+				})
+				pkgSet[pkg.Path] = true
+			}
+		}
+	}
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("no //qosrma:noalloc functions found; nothing to escape-check")
+	}
+	var pkgPaths []string
+	for p := range pkgSet {
+		pkgPaths = append(pkgPaths, p)
+	}
+	sort.Strings(pkgPaths)
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m=1"}, pkgPaths...)...)
+	cmd.Dir = root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m=1: %v\n%s", err, out.Bytes())
+	}
+
+	seen := map[string]bool{}
+	var current []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := escapeLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		lineNo, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		for _, r := range ranges {
+			if r.file == m[1] && r.lo <= lineNo && lineNo <= r.hi {
+				entry := fmt.Sprintf("%s.%s: %s", r.pkg, r.name, msg)
+				if !seen[entry] {
+					seen[entry] = true
+					current = append(current, entry)
+				}
+				break
+			}
+		}
+	}
+	sort.Strings(current)
+
+	if update {
+		data := strings.Join(current, "\n")
+		if len(current) > 0 {
+			data += "\n"
+		}
+		return nil, os.WriteFile(baselinePath, []byte(data), 0o644)
+	}
+
+	baseline := map[string]bool{}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("reading escape baseline (run with -update to create it): %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			baseline[line] = true
+		}
+	}
+	var diff []string
+	for _, c := range current {
+		if !baseline[c] {
+			diff = append(diff, "+ "+c)
+		}
+	}
+	for b := range baseline {
+		if !seen[b] {
+			diff = append(diff, "- "+b)
+		}
+	}
+	sort.Strings(diff)
+	return diff, nil
+}
+
+// funcDeclName renders "Name" or "(*Recv).Name" the way humans grep for
+// it.
+func funcDeclName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	var recv string
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			recv = "(*" + id.Name + ")"
+		}
+	case *ast.Ident:
+		recv = "(" + t.Name + ")"
+	}
+	if recv == "" {
+		return fd.Name.Name
+	}
+	return recv + "." + fd.Name.Name
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive requires that a switch over an in-repo enum either covers
+// every constant of the enum's type or declares a default clause. An
+// enum is a named type defined in this module with at least two
+// package-level constants of exactly that type (wire.ErrCode,
+// core.Scheme, ...). Stdlib and third-party enums are out of scope: the
+// repo cannot grow their constant sets, so partial switches over them
+// are ordinary code, not drift risks.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over in-repo enums must cover every constant or declare a default",
+	Run:  runExhaustive,
+}
+
+// modulePathPrefix defines "in-repo" for enum purposes; the golden
+// fixtures load under qosrma/... so they count too.
+const modulePathPrefix = "qosrma"
+
+func runExhaustive(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			covered := map[string]bool{} // constant exact values already cased
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					return true // default clause excuses the switch
+				}
+				for _, e := range cc.List {
+					if tv, ok := info.Types[e]; ok && tv.Value != nil {
+						covered[tv.Value.ExactString()] = true
+					}
+				}
+			}
+			tagType := info.TypeOf(sw.Tag)
+			consts := enumConsts(tagType)
+			if len(consts) < 2 {
+				return true
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[c.Val().ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(sw.Pos(), "switch over %s is missing cases %s; add them or a default clause",
+					typeName(tagType), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// enumConsts returns the package-level constants of exactly type t, when
+// t is a named in-repo type.
+func enumConsts(t types.Type) []*types.Const {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasPrefix(obj.Pkg().Path(), modulePathPrefix) {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), t) {
+			out = append(out, c)
+		}
+	}
+	// Distinct values only: aliases of the same value are one case.
+	seen := map[string]bool{}
+	var dedup []*types.Const
+	for _, c := range out {
+		if k := c.Val().ExactString(); !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, c)
+		}
+	}
+	return dedup
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			return fmt.Sprintf("%s.%s", pkg.Name(), named.Obj().Name())
+		}
+	}
+	return t.String()
+}

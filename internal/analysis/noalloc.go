@@ -1,0 +1,380 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc enforces the //qosrma:noalloc contract: an annotated function
+// must avoid the constructs that force heap allocation on its hot path —
+// function literals (closure + captures), implicit and explicit interface
+// conversions, fmt calls, string concatenation and string<->[]byte
+// conversions, `new`, un-guarded `make`, and appends that grow a slice
+// from nil.
+//
+// Two idioms the hot paths rely on are exempt by construction rather
+// than by annotation:
+//
+//   - cold error paths: anything inside an if-block whose final statement
+//     returns a non-nil error may allocate (wrapping with fmt.Errorf on
+//     the malformed-input path is fine; the zero-alloc pin never takes
+//     that branch);
+//   - growth guards: anything inside an if/else whose condition reads
+//     cap() or len() may allocate (the grow-on-demand scratch idiom —
+//     `if cap(s) < n { s = make(...) }` — amortises to zero).
+//
+// The analyzer also cross-checks that every annotated function is pinned
+// dynamically: some _test.go file in the package must both mention the
+// function and call testing.AllocsPerRun. Static shape plus a measured
+// pin is the contract; neither alone is trusted.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "enforce allocation-free bodies and AllocsPerRun pins for //qosrma:noalloc functions",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *Pass) {
+	var annotated []*ast.FuncDecl
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasAnnotation(fd.Doc, annoNoalloc) {
+				annotated = append(annotated, fd)
+			}
+		}
+	}
+	if len(annotated) == 0 {
+		return
+	}
+	pins := allocPinFiles(pass.Pkg)
+	for _, fd := range annotated {
+		if fd.Body == nil {
+			continue
+		}
+		if !pinned(pins, fd.Name.Name) {
+			pass.Reportf(fd.Pos(), "noalloc function %s has no testing.AllocsPerRun pin in this package's tests", fd.Name.Name)
+		}
+		checkNoallocBody(pass, fd)
+	}
+}
+
+// allocPinFiles returns, for each test file that calls AllocsPerRun, the
+// set of identifiers it mentions. The cross-check is file-granular: a
+// test file that measures allocations and names the function counts as
+// its pin.
+func allocPinFiles(pkg *Package) []map[string]bool {
+	var out []map[string]bool
+	for _, f := range pkg.TestFiles {
+		mentions := map[string]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				mentions[id.Name] = true
+			}
+			return true
+		})
+		if mentions["AllocsPerRun"] {
+			out = append(out, mentions)
+		}
+	}
+	return out
+}
+
+func pinned(pins []map[string]bool, name string) bool {
+	for _, m := range pins {
+		if m[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// span is a half-open source interval used to mark exempt regions.
+type span struct{ lo, hi token.Pos }
+
+func inSpans(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if s.lo <= pos && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptSpans computes the cold-error-path and growth-guard regions of
+// fd's body (see the package comment on Noalloc).
+func exemptSpans(pass *Pass, fd *ast.FuncDecl) []span {
+	info := pass.Pkg.Info
+	var spans []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		// Growth guard: condition reads cap() or len(); the whole
+		// statement (else branch included) may allocate.
+		capGuard := false
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					capGuard = true
+				}
+			}
+			return true
+		})
+		if capGuard {
+			spans = append(spans, span{ifs.Pos(), ifs.End()})
+			return true
+		}
+		// Cold error path: the block ends by returning a non-nil error.
+		if stmts := ifs.Body.List; len(stmts) > 0 {
+			if ret, ok := stmts[len(stmts)-1].(*ast.ReturnStmt); ok && returnsError(info, ret) {
+				spans = append(spans, span{ifs.Body.Pos(), ifs.Body.End()})
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func returnsError(info *types.Info, ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		if id, ok := res.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		if t := info.TypeOf(res); t != nil && types.Implements(t, errorIface) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoallocBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	exempt := exemptSpans(pass, fd)
+	nilSlices := nilSliceVars(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if inSpans(exempt, n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in noalloc function %s allocates a closure", fd.Name.Name)
+			return false // interior belongs to the closure, not the hot path
+		case *ast.CallExpr:
+			return checkNoallocCall(pass, fd, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in noalloc function %s", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			checkNoallocAssign(pass, fd, n, nilSlices)
+		}
+		return true
+	})
+}
+
+// nilSliceVars collects local variables declared with no backing array
+// (`var s []T`, `s := []T{}`, `s := []T(nil)`). Appending to one of
+// these grows from nil and allocates; appending to a parameter or a
+// field is the caller's reused scratch and is legal.
+func nilSliceVars(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	info := pass.Pkg.Info
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) > 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := info.Defs[name]; obj != nil {
+						if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil && emptySliceExpr(info, n.Rhs[i]) {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func emptySliceExpr(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		if _, isSlice := info.TypeOf(e).Underlying().(*types.Slice); isSlice {
+			return len(e.Elts) == 0
+		}
+	case *ast.CallExpr: // []T(nil) conversion
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice && len(e.Args) == 1 {
+				if id, ok := e.Args[0].(*ast.Ident); ok && id.Name == "nil" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkNoallocCall vets one call expression. The return value feeds
+// ast.Inspect: false stops descent (used when the whole call was already
+// reported, so its arguments don't pile on secondary findings).
+func checkNoallocCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	info := pass.Pkg.Info
+
+	// Conversions: to an interface, or between string and []byte/[]rune.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		switch {
+		case types.IsInterface(dst) && src != nil && !types.IsInterface(src) && !pointerShaped(src):
+			pass.Reportf(call.Pos(), "conversion to interface %s allocates in noalloc function %s", dst, fd.Name.Name)
+		case isString(dst) != isString(src) && (isByteOrRuneSlice(dst) || isByteOrRuneSlice(src)):
+			pass.Reportf(call.Pos(), "string/slice conversion copies and allocates in noalloc function %s", fd.Name.Name)
+		}
+		return true
+	}
+
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch obj.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in noalloc function %s; preallocate in the owner or guard growth with a cap()/len() check", fd.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new in noalloc function %s", fd.Name.Name)
+			}
+			return true
+		}
+	}
+
+	// fmt on the hot path.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "call to fmt.%s allocates in noalloc function %s", fn.Name(), fd.Name.Name)
+			return false
+		}
+	}
+
+	// Implicit interface conversions at argument positions.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return true
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(info, arg) || pointerShaped(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in noalloc function %s", at, param, fd.Name.Name)
+	}
+	return true
+}
+
+func checkNoallocAssign(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt, nilSlices map[types.Object]bool) {
+	info := pass.Pkg.Info
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isString(info.TypeOf(as.Lhs[0])) {
+		pass.Reportf(as.Pos(), "string concatenation allocates in noalloc function %s", fd.Name.Name)
+		return
+	}
+	for i, rhs := range as.Rhs {
+		// append growing a from-nil local.
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" && len(call.Args) > 0 {
+					if target, ok := call.Args[0].(*ast.Ident); ok && nilSlices[info.ObjectOf(target)] {
+						pass.Reportf(call.Pos(), "append grows %s from nil in noalloc function %s; preallocate or reuse scratch", target.Name, fd.Name.Name)
+					}
+				}
+			}
+		}
+		// Implicit interface conversion on assignment.
+		if i < len(as.Lhs) && len(as.Lhs) == len(as.Rhs) {
+			lt := info.TypeOf(as.Lhs[i])
+			rt := info.TypeOf(rhs)
+			if lt != nil && rt != nil && types.IsInterface(lt) && !types.IsInterface(rt) &&
+				!isUntypedNil(info, rhs) && !pointerShaped(rt) {
+				pass.Reportf(rhs.Pos(), "assignment boxes %s into interface %s in noalloc function %s", rt, lt, fd.Name.Name)
+			}
+		}
+	}
+}
+
+// pointerShaped reports types whose value is a single pointer word:
+// converting one to an interface stores the pointer directly in the
+// iface data word and does not allocate.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return true
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

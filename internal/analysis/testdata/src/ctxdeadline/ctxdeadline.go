@@ -1,0 +1,81 @@
+// Package ctxdeadline is the golden fixture for the ctxdeadline
+// analyzer: outbound dials, HTTP requests, and raw conn reads/writes
+// must provably carry a deadline inside the function.
+package ctxdeadline
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+func dialBare(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `net\.Dial connects without a deadline`
+}
+
+func dialUnfloored(addr string, d time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, d) // want `net\.DialTimeout timeout is not provably positive`
+}
+
+func dialFloored(addr string, d time.Duration) (net.Conn, error) {
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	return net.DialTimeout("tcp", addr, d) // legal: floored above
+}
+
+func dialConst(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 3*time.Second) // legal: positive constant
+}
+
+func dialCtxPassthrough(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr) // want `context does not provably carry a deadline`
+}
+
+func dialCtxBounded(ctx context.Context, addr string) (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr) // legal: bounded above
+}
+
+func reqBare(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `http\.NewRequest carries no context`
+}
+
+func reqPassthrough(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil) // want `context does not provably carry a deadline`
+}
+
+func reqBounded(ctx context.Context, url string) (*http.Request, error) {
+	ctx, cancel := context.WithDeadline(ctx, time.Unix(1, 0))
+	defer cancel()
+	return http.NewRequestWithContext(ctx, "GET", url, nil) // legal: deadline above
+}
+
+func writeBare(c net.Conn, p []byte) (int, error) {
+	return c.Write(p) // want `Write on a net\.Conn with no preceding unconditional SetDeadline`
+}
+
+func readBare(c net.Conn, p []byte) (int, error) {
+	return c.Read(p) // want `Read on a net\.Conn with no preceding unconditional SetDeadline`
+}
+
+func writeBounded(c net.Conn, p []byte) (int, error) {
+	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	return c.Write(p) // legal: deadline set unconditionally above
+}
+
+func writeConditional(c net.Conn, p []byte, slow bool) (int, error) {
+	if slow {
+		_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	}
+	return c.Write(p) // want `Write on a net\.Conn with no preceding unconditional SetDeadline`
+}
+
+func allowedDial(addr string) (net.Conn, error) {
+	//qosrma:allow(ctxdeadline) fixture: the caller wraps this probe in a bounded context
+	return net.Dial("tcp", addr)
+}

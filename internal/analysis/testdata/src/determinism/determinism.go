@@ -1,0 +1,58 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer: wall-clock reads, the unseeded global rand source, and map
+// iteration inside functions that never sort.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time\.Now breaks replay determinism`
+}
+
+func draw() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the unseeded global source`
+}
+
+func seeded() int {
+	r := rand.New(rand.NewSource(1)) // New/NewSource construct a seeded generator: fine
+	return r.Intn(6)                 // methods on the seeded generator: fine
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic and unsortedKeys never sorts`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func allowedCount(m map[string]bool) int {
+	n := 0
+	//qosrma:allow(determinism) counting entries is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+func badAllow(m map[string]bool) int {
+	n := 0
+	//qosrma:allow determinism no parens, so this cannot suppress -- want `malformed qosrma:allow comment`
+	for range m { // want `map iteration order is nondeterministic and badAllow never sorts`
+		n++
+	}
+	return n
+}

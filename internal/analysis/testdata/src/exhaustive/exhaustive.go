@@ -1,0 +1,61 @@
+// Package exhaustive is the golden fixture for the exhaustive analyzer:
+// a switch over an in-repo enum covers every constant or declares a
+// default.
+package exhaustive
+
+type mode int
+
+const (
+	modeOff mode = iota
+	modeOn
+	modeAuto
+)
+
+// modeAlias shares modeOn's value: aliases are one case, not a gap.
+const modeAlias = modeOn
+
+func partial(m mode) string {
+	switch m { // want `switch over exhaustive\.mode is missing cases modeAuto; add them or a default clause`
+	case modeOff:
+		return "off"
+	case modeOn:
+		return "on"
+	}
+	return "?"
+}
+
+func full(m mode) string {
+	switch m {
+	case modeOff:
+		return "off"
+	case modeOn, modeAuto:
+		return "running"
+	}
+	return "?"
+}
+
+func defaulted(m mode) string {
+	switch m {
+	case modeOff:
+		return "off"
+	default:
+		return "other"
+	}
+}
+
+func notAnEnum(n int) string {
+	switch n { // plain int: out of scope
+	case 0:
+		return "zero"
+	}
+	return "more"
+}
+
+func allowedPartial(m mode) bool {
+	//qosrma:allow(exhaustive) only the off state matters to this predicate
+	switch m {
+	case modeOff:
+		return false
+	}
+	return true
+}

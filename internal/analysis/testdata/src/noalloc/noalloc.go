@@ -1,0 +1,85 @@
+// Package noalloc is the golden fixture for the noalloc analyzer:
+// closures, interface boxing, fmt, string building, unguarded make,
+// from-nil appends — plus the two structural exemptions (growth guards
+// and cold error paths) and the AllocsPerRun pin cross-check.
+package noalloc
+
+import "fmt"
+
+type boxer interface{ box() }
+
+type val int
+
+func (val) box() {}
+
+type sink struct {
+	buf   []byte
+	vals  []int
+	iface boxer
+}
+
+//qosrma:noalloc
+func hot(s *sink, n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]byte, n) // growth guard: exempt
+	}
+	s.buf = s.buf[:n]
+}
+
+//qosrma:noalloc
+func closures(s *sink) {
+	f := func() { s.vals = s.vals[:0] } // want `function literal in noalloc function closures allocates a closure`
+	f()
+}
+
+//qosrma:noalloc
+func boxes(v val) boxer {
+	return boxer(v) // want `conversion to interface .*boxer allocates in noalloc function boxes`
+}
+
+//qosrma:noalloc
+func assigns(s *sink, v val, p *sink) {
+	s.iface = v // want `assignment boxes .*val into interface .*boxer in noalloc function assigns`
+	_ = p
+}
+
+//qosrma:noalloc
+func grow(s *sink, n int) {
+	s.vals = make([]int, n) // want `make in noalloc function grow`
+}
+
+//qosrma:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates in noalloc function concat`
+}
+
+//qosrma:noalloc
+func appends() int {
+	var out []int
+	out = append(out, 1) // want `append grows out from nil in noalloc function appends`
+	return len(out)
+}
+
+//qosrma:noalloc
+func coldpath(s *sink, bad bool) error {
+	if bad {
+		return fmt.Errorf("sink rejected %d entries", len(s.vals)) // cold error path: exempt
+	}
+	return nil
+}
+
+//qosrma:noalloc
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // want `call to fmt\.Sprintf allocates in noalloc function format`
+}
+
+//qosrma:noalloc
+func allowed(s *sink, n int) {
+	//qosrma:allow(noalloc) one-time arena setup measured by the pin
+	s.vals = make([]int, n)
+}
+
+//qosrma:noalloc
+func unpinned(s *sink) { // want `noalloc function unpinned has no testing\.AllocsPerRun pin`
+	s.buf = s.buf[:0]
+}

@@ -1,0 +1,22 @@
+package noalloc
+
+import "testing"
+
+// Pins for every annotated function except unpinned, whose missing pin
+// is exactly what the fixture asserts.
+func TestPins(t *testing.T) {
+	s := &sink{}
+	got := testing.AllocsPerRun(10, func() {
+		hot(s, 8)
+		closures(s)
+		_ = boxes(1)
+		assigns(s, 1, s)
+		grow(s, 8)
+		_ = concat("a", "b")
+		_ = appends()
+		_ = coldpath(s, false)
+		_ = format(3)
+		allowed(s, 8)
+	})
+	_ = got
+}

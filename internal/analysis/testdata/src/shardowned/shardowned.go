@@ -1,0 +1,56 @@
+// Package shardowned is the golden fixture for the shardowned analyzer:
+// annotated types must stay unexported and must never cross a goroutine
+// boundary via go statements or channel sends — but a worker that merely
+// contains owned scratch may be handed to its own goroutine.
+package shardowned
+
+//qosrma:shardowned
+type scratch struct{ buf []byte }
+
+// Exported carries the annotation but is visible outside the package,
+// which defeats single-worker ownership.
+//
+//qosrma:shardowned
+type Exported struct{ n int } // want `shardowned type Exported must be unexported`
+
+type task struct{ n int }
+
+// worker owns its scratch; the owned type is buried inside a named
+// struct, so launching the worker itself is the sanctioned pattern.
+type worker struct {
+	sc scratch
+	in chan task
+}
+
+func (w *worker) run() {
+	for range w.in {
+		w.sc.buf = w.sc.buf[:0]
+	}
+}
+
+func spawn(w *worker) {
+	go w.run() // legal: ownership transfers with the whole worker
+}
+
+func use(*scratch) {}
+
+func leakGo(sc *scratch) {
+	go use(sc) // want `go statement carries shard-owned type scratch to another goroutine`
+}
+
+func leakSend(ch chan *scratch, sc *scratch) {
+	ch <- sc // want `channel send shares shard-owned type scratch across goroutines`
+}
+
+func leakSlice(ch chan []scratch, scs []scratch) {
+	ch <- scs // want `channel send shares shard-owned type scratch across goroutines`
+}
+
+func sendTask(w *worker) {
+	w.in <- task{} // legal: tasks are meant to cross
+}
+
+func allowedHandoff(ch chan *scratch, sc *scratch) {
+	//qosrma:allow(shardowned) construction-time handoff before the worker starts
+	ch <- sc
+}

@@ -69,6 +69,8 @@ func (p *Predictor) BuildCurve(st *IntervalStats, opt LocalOptions) *Curve {
 // and miss predictions — is hoisted and computed exactly once, with the
 // arithmetic kept term-for-term identical to Predictor.IPS/EPI so the curve
 // is bit-equal to the naive search.
+//
+//qosrma:noalloc
 func (p *Predictor) BuildCurveInto(st *IntervalStats, opt LocalOptions, buf *Curve) *Curve {
 	assoc := p.Sys.LLC.Assoc
 	if opt.MaxWays <= 0 || opt.MaxWays > assoc {
@@ -78,6 +80,7 @@ func (p *Predictor) BuildCurveInto(st *IntervalStats, opt LocalOptions, buf *Cur
 	if freqs == nil {
 		// Cold-path default (sched, tests): the manager precomputes Freqs
 		// in its per-core LocalOptions, so Decide never allocates here.
+		//qosrma:allow(noalloc) one-time default for callers without precomputed Freqs
 		freqs = make([]int, len(p.Sys.DVFS))
 		for i := range freqs {
 			freqs[i] = i
@@ -149,27 +152,64 @@ func (p *Predictor) BuildCurveInto(st *IntervalStats, opt LocalOptions, buf *Cur
 	return curve
 }
 
+// WaysScratch holds AllocateWaysInto's reusable reduction state: the two
+// DP rows, the flattened per-core choice matrix, and the unwound
+// allocation. One instance per Manager keeps the global reduction
+// allocation-free after the first decision (the decision service pushes
+// millions of DecideAll calls through this path).
+type WaysScratch struct {
+	combined []float64
+	next     []float64
+	choices  []int // n rows of totalWays+1 entries, flattened
+	alloc    []int
+}
+
 // AllocateWays reduces the per-core energy curves to the optimum partition
 // of totalWays across cores: it minimizes the sum of curve values subject
 // to sum(w_j) == totalWays. Curves are reduced pairwise exactly as in the
 // paper's global optimization; the implementation folds left-to-right,
 // recording the split choice at every reduction so the final allocation can
 // be unwound. Returns nil and false when no feasible allocation exists.
+//
+// This convenience form allocates private scratch per call; hot paths
+// hold a WaysScratch and use AllocateWaysInto.
 func AllocateWays(curves []*Curve, totalWays int) ([]int, bool) {
+	var ws WaysScratch
+	return AllocateWaysInto(curves, totalWays, &ws)
+}
+
+// AllocateWaysInto is AllocateWays computing in ws's reusable buffers.
+// The returned allocation aliases ws and is valid until the next call
+// with the same scratch.
+//
+//qosrma:noalloc
+func AllocateWaysInto(curves []*Curve, totalWays int, ws *WaysScratch) ([]int, bool) {
 	n := len(curves)
 	if n == 0 {
 		return nil, false
 	}
-	// combined[i][W]: minimum total EPI of cores 0..i using exactly W ways.
-	// choice[i][W]: ways given to core i in that optimum.
-	combined := make([]float64, totalWays+1)
+	rowLen := totalWays + 1
+	if cap(ws.combined) < rowLen {
+		ws.combined = make([]float64, rowLen)
+		ws.next = make([]float64, rowLen)
+	}
+	if cap(ws.choices) < n*rowLen {
+		ws.choices = make([]int, n*rowLen)
+	}
+	if cap(ws.alloc) < n {
+		ws.alloc = make([]int, n)
+	}
+	// combined[W]: minimum total EPI of cores 0..i using exactly W ways.
+	// choice[W]: ways given to core i in that optimum.
+	combined := ws.combined[:rowLen]
+	next := ws.next[:rowLen]
+	choices := ws.choices[:n*rowLen]
+	alloc := ws.alloc[:n]
 	for W := range combined {
 		combined[W] = curves[0].EPI(W)
 	}
-	choices := make([][]int, n)
 	for i := 1; i < n; i++ {
-		next := make([]float64, totalWays+1)
-		choice := make([]int, totalWays+1)
+		choice := choices[i*rowLen : (i+1)*rowLen]
 		for W := 0; W <= totalWays; W++ {
 			next[W] = math.Inf(1)
 			choice[W] = -1
@@ -188,17 +228,15 @@ func AllocateWays(curves []*Curve, totalWays int) ([]int, bool) {
 				}
 			}
 		}
-		combined = next
-		choices[i] = choice
+		combined, next = next, combined
 	}
 	if math.IsInf(combined[totalWays], 1) {
 		return nil, false
 	}
 	// Unwind.
-	alloc := make([]int, n)
 	W := totalWays
 	for i := n - 1; i >= 1; i-- {
-		wi := choices[i][W]
+		wi := choices[i*rowLen+W]
 		alloc[i] = wi
 		W -= wi
 	}
@@ -222,12 +260,24 @@ func IdleCurve(assoc int, parked arch.Setting) *Curve {
 // SettingsFromCurves converts a way allocation back into complete per-core
 // settings using each curve's per-way optimum.
 func SettingsFromCurves(curves []*Curve, alloc []int) []arch.Setting {
-	out := make([]arch.Setting, len(curves))
+	return SettingsFromCurvesInto(nil, curves, alloc)
+}
+
+// SettingsFromCurvesInto is SettingsFromCurves writing into dst's backing
+// array when it is large enough (the Manager reuses its settings slice
+// across decisions).
+//
+//qosrma:noalloc
+func SettingsFromCurvesInto(dst []arch.Setting, curves []*Curve, alloc []int) []arch.Setting {
+	if cap(dst) < len(curves) {
+		dst = make([]arch.Setting, len(curves))
+	}
+	dst = dst[:len(curves)]
 	for i, c := range curves {
 		o := c.Options[alloc[i]]
-		out[i] = arch.Setting{Size: o.Size, FreqIdx: o.FreqIdx, Ways: alloc[i]}
+		dst[i] = arch.Setting{Size: o.Size, FreqIdx: o.FreqIdx, Ways: alloc[i]}
 	}
-	return out
+	return dst
 }
 
 // TotalEPI evaluates an allocation against the curves (for tests and

@@ -85,6 +85,8 @@ type Manager struct {
 	localOpts []LocalOptions // per-core search space, precomputed
 	scratch   *Curve         // reusable curve for the single-core schemes
 	uncoord   []*Curve       // reusable curves for the uncoordinated scheme
+	ways      WaysScratch    // reusable global-reduction state
+	profiles  [][]float64    // reusable miss-profile vector (UCP scheme)
 
 	// occupied tracks which cores currently host an application (all of
 	// them in the classic closed-world simulation). Vacant cores take no
@@ -235,6 +237,11 @@ func (m *Manager) computeLocalOptions(core int) LocalOptions {
 		MaxWays: maxWays,
 	}
 	switch m.cfg.Scheme {
+	case SchemeStatic:
+		// Static never re-decides — Decide answers before consulting the
+		// search space — so only the shape matters: pin the baseline point.
+		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
+		opt.Freqs = []int{sys.BaselineFreqIdx}
 	case SchemePartitionOnly:
 		opt.Sizes = []arch.CoreSize{sys.BaselineSize}
 		opt.Freqs = []int{sys.BaselineFreqIdx}
@@ -276,6 +283,8 @@ func (m *Manager) localOptions(core int) LocalOptions {
 // the given statistics. It returns the new settings for all cores and true,
 // or nil and false when the manager keeps the current settings (static
 // scheme, warm-up, or no feasible allocation).
+//
+//qosrma:noalloc
 func (m *Manager) Decide(invoker int, st *IntervalStats) ([]arch.Setting, bool) {
 	m.Invocations++
 	sys := m.cfg.Sys
@@ -285,6 +294,7 @@ func (m *Manager) Decide(invoker int, st *IntervalStats) ([]arch.Setting, bool) 
 		// make the table available to the predictor for this invocation.
 		m.feedback[invoker].Observe(st)
 		m.pred.Feedback = m.feedback[invoker]
+		//qosrma:allow(noalloc) deferred reset closure is open-coded and never escapes
 		defer func() { m.pred.Feedback = nil }()
 	}
 
@@ -309,6 +319,9 @@ func (m *Manager) Decide(invoker int, st *IntervalStats) ([]arch.Setting, bool) 
 			Size: o.Size, FreqIdx: o.FreqIdx, Ways: sys.BaselineWays(),
 		}
 		return m.Settings(), true
+
+	case SchemePartitionOnly, SchemeCoordDVFSCache, SchemeCoordCoreDVFSCache:
+		// Handled by the coordinated reduction below.
 	}
 
 	// Coordinated schemes: rebuild the invoker's curve (reusing its buffer
@@ -323,11 +336,11 @@ func (m *Manager) Decide(invoker int, st *IntervalStats) ([]arch.Setting, bool) 
 			return nil, false
 		}
 	}
-	alloc, ok := AllocateWays(curves, sys.LLC.Assoc)
+	alloc, ok := AllocateWaysInto(curves, sys.LLC.Assoc, &m.ways)
 	if !ok {
 		return nil, false
 	}
-	m.settings = SettingsFromCurves(curves, alloc)
+	m.settings = SettingsFromCurvesInto(m.settings, curves, alloc)
 	for i := range m.settings {
 		if !m.occupied[i] {
 			// Nothing executes on a vacant core; park it at the baseline
@@ -347,6 +360,8 @@ func (m *Manager) Decide(invoker int, st *IntervalStats) ([]arch.Setting, bool) 
 // without allocating and without leaking curve state between queries
 // (stale curves from a previous query are always overwritten before the
 // global reduction runs). Entries of st may be nil for vacant cores.
+//
+//qosrma:noalloc
 func (m *Manager) DecideAll(st []*IntervalStats) ([]arch.Setting, bool) {
 	if len(st) != len(m.settings) {
 		panic("core: DecideAll statistics length mismatch")
@@ -382,6 +397,7 @@ func (m *Manager) DecideAll(st []*IntervalStats) ([]arch.Setting, bool) {
 					break
 				}
 			}
+			//qosrma:allow(noalloc) deferred reset closure is open-coded and never escapes
 			defer func() { m.pred.Feedback = nil }()
 		}
 		return m.decideUncoordinated()
@@ -414,6 +430,9 @@ func (m *Manager) DecideAll(st []*IntervalStats) ([]arch.Setting, bool) {
 			return nil, false
 		}
 		return m.Settings(), true
+
+	case SchemePartitionOnly, SchemeCoordDVFSCache, SchemeCoordCoreDVFSCache:
+		// Handled by the coordinated reduction below.
 	}
 
 	// Coordinated schemes: rebuild every occupied core's curve, then run
@@ -437,11 +456,11 @@ func (m *Manager) DecideAll(st []*IntervalStats) ([]arch.Setting, bool) {
 	}
 	m.pred.Feedback = nil
 	curves := m.decisionCurves()
-	alloc, ok := AllocateWays(curves, sys.LLC.Assoc)
+	alloc, ok := AllocateWaysInto(curves, sys.LLC.Assoc, &m.ways)
 	if !ok {
 		return nil, false
 	}
-	m.settings = SettingsFromCurves(curves, alloc)
+	m.settings = SettingsFromCurvesInto(m.settings, curves, alloc)
 	for i := range m.settings {
 		if !m.occupied[i] {
 			m.settings[i] = sys.BaselineSetting()
@@ -458,7 +477,10 @@ func (m *Manager) DecideAll(st []*IntervalStats) ([]arch.Setting, bool) {
 // paper's coordinated design exists to prevent.
 func (m *Manager) decideUncoordinated() ([]arch.Setting, bool) {
 	sys := m.cfg.Sys
-	profiles := make([][]float64, len(m.lastStats))
+	if cap(m.profiles) < len(m.lastStats) {
+		m.profiles = make([][]float64, len(m.lastStats))
+	}
+	profiles := m.profiles[:len(m.lastStats)]
 	for i, st := range m.lastStats {
 		if !m.occupied[i] {
 			// Vacant cores miss nothing: UCP hands them the minimum share.

@@ -407,6 +407,8 @@ func (s *Sim) retire(c *coreState, instr float64) {
 // Cores whose own completion defines the horizon retire exactly their
 // remaining instructions: rem and stall reach exactly zero, so completion
 // detection is epsilon-free and no work is dropped between intervals.
+//
+//qosrma:noalloc
 func (s *Sim) Step() ([]int, error) {
 	// Find the earliest interval completion. The per-core horizons are
 	// kept so the advance loop below can identify completing cores by the
@@ -731,6 +733,8 @@ func (s *Sim) applySettings(settings []arch.Setting) {
 
 // gatherStats fills the core's reusable IntervalStats buffer with what the
 // RMA observes after the core completed interval `completed`.
+//
+//qosrma:noalloc
 func (c *coreState) gatherStats(db *simdb.DB, coreID, completed int, oracle bool) *core.IntervalStats {
 	// Realistic statistics describe the interval that just ended; oracle
 	// statistics describe the upcoming one.

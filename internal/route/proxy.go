@@ -290,6 +290,7 @@ func (p *Proxy) probeReplica(ctx context.Context, ri int) error {
 }
 
 func (p *Proxy) probeReplicaHTTP(ctx context.Context, ri int) error {
+	//qosrma:allow(ctxdeadline) ctx comes from Prober.RunNow, which wraps every probe in context.WithTimeout(p.opt.Timeout)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		"http://"+p.replicas[ri].addr+"/v1/healthz", nil)
 	if err != nil {
@@ -564,6 +565,7 @@ func (p *Proxy) attempt(ctx context.Context, ri int, method, uri, contentType st
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
+	//qosrma:allow(ctxdeadline) deadline is attached above unless the operator set AttemptTimeout<0 to disable it; the inbound request's ctx still cancels the attempt
 	req, err := http.NewRequestWithContext(ctx, method, "http://"+rep.addr+uri, rd)
 	if err != nil {
 		return nil, err

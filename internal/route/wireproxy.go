@@ -69,6 +69,11 @@ type wirePool struct {
 	idle []*wireConn
 }
 
+// defaultWireTimeout floors every wire-connection deadline when the
+// operator disabled the per-attempt timeout: raw conn I/O has no
+// context to fall back on and must never be unbounded.
+const defaultWireTimeout = 2 * time.Second
+
 // wireConn is one pooled backend connection with its framing reader and
 // write scratch.
 type wireConn struct {
@@ -198,9 +203,18 @@ func (wp *WireProxy) serveConn(c net.Conn) {
 	)
 	for {
 		typ, payload, err := r.Next()
+		// Bound every write this iteration makes: a client that stops
+		// reading its responses must not wedge the proxy goroutine.
+		// (Reads stay unbounded — an idle connection is legal, a
+		// stalled write is not.)
+		wd := wp.p.opt.attemptTimeout()
+		if wd <= 0 {
+			wd = defaultWireTimeout
+		}
+		c.SetWriteDeadline(time.Now().Add(wd)) //nolint:errcheck // net.TCPConn deadlines cannot fail
 		if err != nil {
 			if errors.Is(err, wire.ErrVersion) || errors.Is(err, wire.ErrTooLarge) {
-				code := byte(wire.ErrCodeUnsupported)
+				code := wire.ErrCodeUnsupported
 				if errors.Is(err, wire.ErrTooLarge) {
 					code = wire.ErrCodeTooLarge
 				}
@@ -377,7 +391,7 @@ func (wp *WireProxy) relay(dst []byte, seq uint32, typ byte, payload []byte) []b
 // errFrame reports a backend Error frame treated as an attempt failure
 // (code Unavailable: the replica is draining or closed).
 type errFrame struct {
-	code byte
+	code wire.ErrCode
 	msg  string
 }
 
@@ -558,7 +572,7 @@ func (pool *wirePool) get(dials *ops.Counter, timeout time.Duration) (*wireConn,
 	}
 	pool.mu.Unlock()
 	if timeout <= 0 {
-		timeout = 2 * time.Second
+		timeout = defaultWireTimeout
 	}
 	c, err := net.DialTimeout("tcp", pool.addr, timeout)
 	if err != nil {
@@ -595,9 +609,15 @@ func (pool *wirePool) roundTrip(dials *ops.Counter, timeout time.Duration, frame
 	if err != nil {
 		return 0, respBuf, err
 	}
-	if timeout > 0 {
-		wc.c.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck // net.TCPConn deadlines cannot fail
+	// A forward attempt must always be bounded. Unlike the HTTP path
+	// there is no caller context to fall back on, so a disabled
+	// per-attempt timeout (AttemptTimeout < 0) is floored rather than
+	// skipped — a backend that accepts the connection and then goes
+	// silent would otherwise wedge this goroutine forever.
+	if timeout <= 0 {
+		timeout = defaultWireTimeout
 	}
+	wc.c.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck // net.TCPConn deadlines cannot fail
 	if _, err := wc.c.Write(frame); err != nil {
 		wc.c.Close()
 		return 0, respBuf, fmt.Errorf("replica %s: %w", pool.addr, err)
@@ -608,9 +628,7 @@ func (pool *wirePool) roundTrip(dials *ops.Counter, timeout time.Duration, frame
 		return 0, respBuf, fmt.Errorf("replica %s: %w", pool.addr, err)
 	}
 	respBuf = append(respBuf, payload...)
-	if timeout > 0 {
-		wc.c.SetDeadline(time.Time{}) //nolint:errcheck // net.TCPConn deadlines cannot fail
-	}
+	wc.c.SetDeadline(time.Time{}) //nolint:errcheck // net.TCPConn deadlines cannot fail
 	pool.put(wc)
 	return typ, respBuf, nil
 }

@@ -394,6 +394,8 @@ func (sh *shard) manager(q *decideQuery) *core.Manager {
 
 // compute runs the library decision for one query against the shard's
 // adopted snapshot, using the shard's reusable scratch.
+//
+//qosrma:noalloc
 func (sh *shard) compute(q *decideQuery) decideResult {
 	db := sh.sn.db
 	n := db.Sys.NumCores
@@ -441,6 +443,8 @@ func baselineSettings(db *simdb.DB) []arch.Setting {
 
 // process answers one task: dispatching audits, adopting newer snapshots,
 // and serving decide queries from the cache or by computing.
+//
+//qosrma:noalloc
 func (sh *shard) process(t task) {
 	if t.audit != nil {
 		sh.runAudit(t.audit)

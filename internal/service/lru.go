@@ -23,6 +23,8 @@ type lruEntry struct {
 // use: every instance is owned by exactly one shard worker, which is
 // what keeps the decide hot path lock-free — admission decisions
 // included.
+//
+//qosrma:shardowned
 type lru struct {
 	cap   int
 	order *list.List               // front = most recent
@@ -138,6 +140,8 @@ func (l *lru) len() int { return l.order.Len() }
 // sightings the sketch counters are halved and the doorkeeper cleared —
 // so the estimates track the recent access distribution, not all of
 // history.
+//
+//qosrma:shardowned
 type admission struct {
 	door     []uint64 // doorkeeper bloom bits (2 probes)
 	sketch   []uint64 // 4-bit counters, 16 per word (4 probes, count-min)

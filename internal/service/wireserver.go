@@ -149,6 +149,8 @@ func (s *Server) closeWire() {
 // wireScratch is one connection's reusable decode/resolve/encode state.
 // Everything grows to the connection's working set once and is reused for
 // every later frame.
+//
+//qosrma:shardowned
 type wireScratch struct {
 	req     wire.DecideRequest
 	queries []decideQuery  // query arena; each entry keeps its key buffer
@@ -258,7 +260,7 @@ func wireSeqOf(p []byte) uint32 {
 
 // writeWireError emits and flushes a TypeError frame, reporting whether
 // the connection is still writable.
-func (s *Server) writeWireError(bw *bufio.Writer, seq uint32, code byte, msg string) bool {
+func (s *Server) writeWireError(bw *bufio.Writer, seq uint32, code wire.ErrCode, msg string) bool {
 	out := wire.AppendError(nil, seq, code, msg)
 	if _, err := bw.Write(out); err != nil {
 		return false
@@ -344,7 +346,7 @@ func (s *Server) handleWireDecide(bw *bufio.Writer, payload []byte, sc *wireScra
 // scratch arenas with resolved queries whose canonical keys are built by
 // the same appendQueryKey as the JSON path. On success the first return
 // is the query count and sc.qptrs/sc.results are sized to it.
-func (s *Server) resolveWireQueries(sn *snapshot, sc *wireScratch) (int, byte, error) {
+func (s *Server) resolveWireQueries(sn *snapshot, sc *wireScratch) (int, wire.ErrCode, error) {
 	req := &sc.req
 	db := sn.db
 	n := db.Sys.NumCores

@@ -280,7 +280,7 @@ func TestWireMalformedFrameKeepsConnection(t *testing.T) {
 	}
 	w := dialWire(t, addr)
 
-	expectError := func(step string, frame []byte, wantCode byte) {
+	expectError := func(step string, frame []byte, wantCode wire.ErrCode) {
 		t.Helper()
 		w.send(t, frame)
 		typ, payload := w.next(t)
@@ -345,7 +345,7 @@ func TestWireFatalFrameClosesConnection(t *testing.T) {
 	cases := []struct {
 		name  string
 		frame []byte
-		code  byte
+		code  wire.ErrCode
 	}{
 		{"version", func() []byte {
 			f := wire.AppendHello(nil)

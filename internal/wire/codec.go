@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 )
 
 // floatBits/floatFrom name the f64 wire representation in one place.
@@ -74,22 +75,45 @@ const (
 	TypeError = 0x05
 )
 
+// ErrCode is an Error frame's one-byte code. It is a defined type so
+// that switches over it are checked for exhaustiveness by qosrmavet:
+// adding a code without teaching every consumer is a compile-gate
+// failure, not a silent fallthrough.
+type ErrCode byte
+
 // Error frame codes.
 const (
 	// ErrCodeMalformed: the payload did not parse or failed validation.
-	ErrCodeMalformed = 1
+	ErrCodeMalformed ErrCode = 1
 	// ErrCodeStaleDB: the request's DBHash does not match the serving
 	// snapshot (the client should refresh via Hello/Meta).
-	ErrCodeStaleDB = 2
+	ErrCodeStaleDB ErrCode = 2
 	// ErrCodeTooLarge: the declared payload exceeds MaxPayload (fatal —
 	// the server closes the connection after sending this).
-	ErrCodeTooLarge = 3
+	ErrCodeTooLarge ErrCode = 3
 	// ErrCodeUnavailable: the server is draining or closed.
-	ErrCodeUnavailable = 4
+	ErrCodeUnavailable ErrCode = 4
 	// ErrCodeUnsupported: unknown frame version or type (version
 	// mismatches are fatal).
-	ErrCodeUnsupported = 5
+	ErrCodeUnsupported ErrCode = 5
 )
+
+// String names the code for logs and error text.
+func (c ErrCode) String() string {
+	switch c {
+	case ErrCodeMalformed:
+		return "malformed"
+	case ErrCodeStaleDB:
+		return "stale-db"
+	case ErrCodeTooLarge:
+		return "too-large"
+	case ErrCodeUnavailable:
+		return "unavailable"
+	case ErrCodeUnsupported:
+		return "unsupported"
+	}
+	return "errcode(" + strconv.Itoa(int(c)) + ")"
+}
 
 // DecideRequest flag bits.
 const (
@@ -218,6 +242,8 @@ func NewReaderSize(r io.Reader, size int) *Reader {
 // call. Errors: io errors from the stream (io.EOF cleanly between
 // frames, io.ErrUnexpectedEOF inside one), ErrVersion and ErrTooLarge
 // (both fatal to the connection).
+//
+//qosrma:noalloc
 func (r *Reader) Next() (typ byte, payload []byte, err error) {
 	if r.pending > 0 {
 		if _, err := r.br.Discard(r.pending); err != nil {
@@ -270,6 +296,8 @@ func (r *Reader) Next() (typ byte, payload []byte, err error) {
 }
 
 // AppendHeader appends a frame header for a payload of payloadLen bytes.
+//
+//qosrma:noalloc
 func AppendHeader(dst []byte, typ byte, payloadLen int) []byte {
 	var hdr [HeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(payloadLen))
@@ -309,6 +337,8 @@ func decideRequestLen(r *DecideRequest) int {
 
 // AppendDecideRequest appends a complete DecideRequest frame (header
 // included). Encoding into a reused dst performs no allocation.
+//
+//qosrma:noalloc
 func AppendDecideRequest(dst []byte, r *DecideRequest) []byte {
 	dst = AppendHeader(dst, TypeDecideRequest, decideRequestLen(r))
 	dst = appendU32(dst, r.Seq)
@@ -332,6 +362,8 @@ func AppendDecideRequest(dst []byte, r *DecideRequest) []byte {
 
 // ParseDecideRequest decodes a TypeDecideRequest payload into req,
 // reusing req's slice capacity. All errors wrap ErrMalformed.
+//
+//qosrma:noalloc
 func ParseDecideRequest(p []byte, req *DecideRequest) error {
 	if len(p) < 18 {
 		return fmt.Errorf("%w: request payload of %d bytes is shorter than the fixed 18-byte prefix", ErrMalformed, len(p))
@@ -394,6 +426,8 @@ func ParseDecideRequest(p []byte, req *DecideRequest) error {
 }
 
 // AppendDecideResponse appends a complete DecideResponse frame.
+//
+//qosrma:noalloc
 func AppendDecideResponse(dst []byte, r *DecideResponse) []byte {
 	count := len(r.Decided)
 	dst = AppendHeader(dst, TypeDecideResponse, 7+count*(1+3*int(r.NCores)))
@@ -416,6 +450,8 @@ func AppendDecideResponse(dst []byte, r *DecideResponse) []byte {
 
 // ParseDecideResponse decodes a TypeDecideResponse payload into resp,
 // reusing resp's slice capacity. All errors wrap ErrMalformed.
+//
+//qosrma:noalloc
 func ParseDecideResponse(p []byte, resp *DecideResponse) error {
 	if len(p) < 7 {
 		return fmt.Errorf("%w: response payload of %d bytes is shorter than the fixed 7-byte prefix", ErrMalformed, len(p))
@@ -448,24 +484,24 @@ func ParseDecideResponse(p []byte, resp *DecideResponse) error {
 }
 
 // AppendError appends a complete Error frame.
-func AppendError(dst []byte, seq uint32, code byte, msg string) []byte {
+func AppendError(dst []byte, seq uint32, code ErrCode, msg string) []byte {
 	if len(msg) > 1<<12 {
 		msg = msg[:1<<12]
 	}
 	dst = AppendHeader(dst, TypeError, 7+len(msg))
 	dst = appendU32(dst, seq)
-	dst = append(dst, code)
+	dst = append(dst, byte(code))
 	dst = appendU16(dst, uint16(len(msg)))
 	return append(dst, msg...)
 }
 
 // ParseError decodes a TypeError payload.
-func ParseError(p []byte) (seq uint32, code byte, msg string, err error) {
+func ParseError(p []byte) (seq uint32, code ErrCode, msg string, err error) {
 	if len(p) < 7 {
 		return 0, 0, "", fmt.Errorf("%w: error payload of %d bytes is shorter than the fixed 7-byte prefix", ErrMalformed, len(p))
 	}
 	seq = binary.LittleEndian.Uint32(p)
-	code = p[4]
+	code = ErrCode(p[4])
 	msgLen := int(binary.LittleEndian.Uint16(p[5:]))
 	if len(p) != 7+msgLen {
 		return 0, 0, "", fmt.Errorf("%w: error message is %d bytes, want %d", ErrMalformed, len(p)-7, msgLen)
@@ -531,6 +567,8 @@ func ParseMeta(p []byte, m *Meta) error {
 }
 
 // growApps returns s resized to n entries, reusing capacity.
+//
+//qosrma:noalloc
 func growApps(s []App, n int) []App {
 	if cap(s) < n {
 		return make([]App, n)
@@ -538,6 +576,7 @@ func growApps(s []App, n int) []App {
 	return s[:n]
 }
 
+//qosrma:noalloc
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -545,6 +584,7 @@ func growFloats(s []float64, n int) []float64 {
 	return s[:n]
 }
 
+//qosrma:noalloc
 func growBools(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)
@@ -552,6 +592,7 @@ func growBools(s []bool, n int) []bool {
 	return s[:n]
 }
 
+//qosrma:noalloc
 func growSettings(s []Setting, n int) []Setting {
 	if cap(s) < n {
 		return make([]Setting, n)

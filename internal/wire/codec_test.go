@@ -357,3 +357,23 @@ func TestEncodeZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state wire encode allocates %.1f times per frame, want 0", allocs)
 	}
 }
+
+// TestGrowHelpersZeroAlloc pins the grow-on-demand scratch helpers at
+// zero allocations once capacity has been reached: growApps, growFloats,
+// growBools and growSettings only allocate on the growth path their
+// cap() guard takes.
+func TestGrowHelpersZeroAlloc(t *testing.T) {
+	apps := growApps(nil, 8)
+	floats := growFloats(nil, 8)
+	bools := growBools(nil, 8)
+	settings := growSettings(nil, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		apps = growApps(apps[:0], 8)
+		floats = growFloats(floats[:0], 8)
+		bools = growBools(bools[:0], 8)
+		settings = growSettings(settings[:0], 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("grown scratch reuse allocates %.1f times, want 0", allocs)
+	}
+}

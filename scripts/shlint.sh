@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Shell hygiene wall, run as part of `make lint`: every script in
+# scripts/ must
+#
+#  1. start with the portable bash shebang (#!/usr/bin/env bash),
+#  2. opt into strict mode with `set -euo pipefail` near the top (an
+#     unchecked failure in a CI pipeline must fail the pipeline, not
+#     scroll past), and
+#  3. parse (`bash -n`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in scripts/*.sh; do
+    if [[ "$(head -n1 "$f")" != "#!/usr/bin/env bash" ]]; then
+        echo "shlint: $f: first line must be '#!/usr/bin/env bash'" >&2
+        fail=1
+    fi
+    if ! head -n 30 "$f" | grep -q '^set -euo pipefail$'; then
+        echo "shlint: $f: missing 'set -euo pipefail' in the first 30 lines" >&2
+        fail=1
+    fi
+    if ! bash -n "$f"; then
+        echo "shlint: $f: does not parse" >&2
+        fail=1
+    fi
+done
+if [[ "$fail" -ne 0 ]]; then
+    exit 1
+fi
+echo "shlint: $(ls scripts/*.sh | wc -l | tr -d ' ') scripts clean"
