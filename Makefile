@@ -18,7 +18,7 @@ BENCH_DIFF ?= benchdiff.txt
 # LeadingMissSurface (fused all-(c,w) profile), SimulatePhase (per-phase
 # kernel) and EnvBuild (cold full environment — the headline build-side
 # wall time, also recorded in the CI bench artifact).
-MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulatePhase|CurveReduction|TreeReduction16Core|SimDBLookup|SimDBReferenceEval|RMASimRun|RMASimStep|ClusterRun|RMAOverhead|RM3Overhead|EnvBuild|WireEncode|WireDecode
+MICRO_BENCH ?= ATDAccess|StackDistances|MLPAnalysis|LeadingMissSurface|SimulatePhase|CurveReduction|TreeReduction16Core|SimDBLookup|SimDBReferenceEval|RMASimRun|RMASimStep|ClusterRun|RMAOverhead|RM3Overhead|EnvBuild|WireEncode|WireDecode|Equilibrium|ScorerCold
 # benchbase and benchdiff must measure under identical flags, or the
 # benchstat comparison is noise.
 MICRO_FLAGS ?= -benchtime=0.2s -count=5
@@ -118,21 +118,23 @@ chaos:
 	./scripts/chaos.sh
 
 # The byte-determinism wall, promoted to the per-push CI lane: the cluster
-# engine's emitter output across worker counts {1,4,GOMAXPROCS}, database
-# builds across worker counts, concurrent service batches vs sequential
-# library calls, the binary decide path vs the JSON one on the same seeded
-# trace, and the binary response stream hash across shard/cache layouts.
+# engine's emitter output across worker counts {1,4,GOMAXPROCS} (scored
+# and equilibrium placement), database builds across worker counts,
+# concurrent service batches vs sequential library calls, the binary
+# decide path vs the JSON one on the same seeded trace, the binary
+# response stream hash across shard/cache layouts, and the Nash solver's
+# equilibrium across solver worker counts and repeated runs.
 # Run without -short (these need real database builds) and without caching.
 determinism:
 	$(GO) test -count=1 -run \
-		'TestClusterDeterministic|TestBuildDeterministicAcrossWorkerCounts|TestConcurrentDecideDeterministic|TestDecideMatchesLibrary|TestWireMatchesJSON|TestWireStreamDeterministic' \
-		./internal/cluster ./internal/simdb ./internal/service
+		'TestClusterDeterministic|TestEquilibriumPlacementDeterministic|TestSolveDeterministic|TestBuildDeterministicAcrossWorkerCounts|TestConcurrentDecideDeterministic|TestDecideMatchesLibrary|TestWireMatchesJSON|TestWireStreamDeterministic' \
+		./internal/cluster ./internal/equilibrium ./internal/simdb ./internal/service
 
-# Golden-table regression: regenerate the committed paper tables through
-# System.Sweep and fail on any byte drift (refresh intentionally with
-# `go test -run TestGoldenTables -update .`).
+# Golden-table regression: regenerate the committed paper tables (via
+# System.Sweep) and the small-fleet placement comparison, and fail on any
+# byte drift (refresh intentionally with `go test -run TestGolden -update .`).
 golden:
-	$(GO) test -count=1 -run TestGoldenTables .
+	$(GO) test -count=1 -run 'TestGolden' .
 
 # Fuzz regression: run every fuzz target over its seed corpus only (no
 # fuzzing time), so corpus regressions fail fast in CI; `go test -fuzz`

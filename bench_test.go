@@ -7,15 +7,18 @@ package qosrma
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
 	"qosrma/internal/arch"
 	"qosrma/internal/cache"
 	"qosrma/internal/core"
+	"qosrma/internal/equilibrium"
 	"qosrma/internal/experiments"
 	"qosrma/internal/power"
 	"qosrma/internal/rmasim"
+	"qosrma/internal/sched"
 	"qosrma/internal/simdb"
 	"qosrma/internal/simpoint"
 	"qosrma/internal/stats"
@@ -595,6 +598,109 @@ func BenchmarkClusterRun(b *testing.B) {
 			b.ReportMetric(res.EnergySavings*100, "fleetSavings%")
 		}
 	}
+}
+
+// equilibriumPlayers is the 8-player fixture for the equilibrium
+// benchmarks: two machine-loads of mixed sensitivities.
+var equilibriumPlayers = []string{
+	"mcf", "omnetpp", "perlbench", "xalancbmk",
+	"gamess", "hmmer", "namd", "povray",
+}
+
+// BenchmarkEquilibrium measures one certified pure-Nash solve of the
+// placement game on warm scorer caches: 8 players on two 4-core machines,
+// best-response dynamics over four seeded starts plus the independent
+// no-improvement certificate (the per-arrival cost of the cluster
+// engine's equilibrium placement policy).
+func BenchmarkEquilibrium(b *testing.B) {
+	env := benchEnv(b)
+	sc := sched.NewScorer(env.DB4)
+	cfg := equilibrium.Config{Machines: 2, Capacity: 4, Seed: 1}
+	if _, err := equilibrium.Solve(sc, equilibriumPlayers, cfg); err != nil {
+		b.Fatal(err) // warm the curve caches before timing
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eq, err := equilibrium.Solve(sc, equilibriumPlayers, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !eq.Certified {
+			b.Fatal("uncertified equilibrium")
+		}
+	}
+}
+
+// scorerColdMachines is the workload of the cold-scorer benchmarks: 12
+// distinct 4-tenant machines over the full suite, so a cold scorer must
+// build every aggregate-statistics and curve key from scratch.
+func scorerColdMachines(db *simdb.DB) [][]string {
+	names := db.BenchNames()
+	var machines [][]string
+	for i := 0; i+4 <= len(names); i += 2 {
+		machines = append(machines, names[i:i+4])
+	}
+	return machines
+}
+
+// BenchmarkScorerColdSerial measures scoring the cold-machine set on a
+// fresh scorer from one goroutine — the single-flight baseline the
+// parallel variant is compared against.
+func BenchmarkScorerColdSerial(b *testing.B) {
+	env := benchEnv(b)
+	machines := scorerColdMachines(env.DB4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := sched.NewScorer(env.DB4)
+		var buf sched.ScoreBuf
+		for _, m := range machines {
+			if _, err := sc.ScoreInto(m, &buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(machines)), "scores/op")
+}
+
+// BenchmarkScorerColdParallel runs GOMAXPROCS goroutines over the whole
+// cold-machine set sharing one scorer — workers× the scoring work of
+// BenchmarkScorerColdSerial, colliding on every cold key. Builds run
+// outside the scorer lock behind per-key single-flight, so the time per
+// op stays near the serial bench (the multiplied work scales across
+// cores) instead of growing with the worker count as it did when the
+// lock was held across curve builds; scores/op records the multiplier
+// for the benchdiff artifact.
+func BenchmarkScorerColdParallel(b *testing.B) {
+	env := benchEnv(b)
+	machines := scorerColdMachines(env.DB4)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := sched.NewScorer(env.DB4)
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var buf sched.ScoreBuf
+				for k := range machines {
+					m := machines[(k+w)%len(machines)]
+					if _, err := sc.ScoreInto(m, &buf); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(workers*len(machines)), "scores/op")
 }
 
 // BenchmarkSimDBBuild measures the offline detailed-simulation step for one

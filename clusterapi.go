@@ -27,12 +27,25 @@ type (
 )
 
 // Placement policies.
+//
+//	scored       greedy: the arrival joins the machine the collocation
+//	             scorer rates highest (the default)
+//	first-fit    the arrival joins the lowest-numbered free machine
+//	equilibrium  the arrival joins the machine it occupies in a certified
+//	             pure Nash equilibrium of the collocation game
+//	             (internal/equilibrium: best-response dynamics on the
+//	             scorer oracle, best-of-K seeded starts)
 const (
 	// PlaceScored places each arrival where the collocation scorer
 	// predicts the largest energy savings (the default).
 	PlaceScored = cluster.PlaceScored
 	// PlaceFirstFit places each arrival on the first free machine.
 	PlaceFirstFit = cluster.PlaceFirstFit
+	// PlaceEquilibrium places each arrival at its slot in a certified
+	// pure Nash equilibrium computed over the current tenants plus the
+	// arrival; it falls back to scored placement when no certified
+	// equilibrium (or no physically free equilibrium slot) exists.
+	PlaceEquilibrium = cluster.PlaceEquilibrium
 )
 
 // ClusterSpec declares an open-system fleet scenario: machines of this

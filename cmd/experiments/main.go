@@ -38,15 +38,17 @@ func main() {
 	clusterSeed := flag.Uint64("cluster-seed", 1, "cluster mode: arrival-trace seed")
 	clusterSlack := flag.Float64("cluster-slack", 0.2, "cluster mode: uniform QoS slack")
 	clusterScheme := flag.String("cluster-scheme", "rm2", "cluster mode: rm2 or rm3")
-	clusterPlacement := flag.String("cluster-placement", "scored", "cluster mode: scored or firstfit")
+	clusterPlacement := flag.String("cluster-placement", "scored", "cluster mode: scored, firstfit or equilibrium")
+	clusterCompare := flag.Bool("cluster-compare", false, "cluster mode: run every placement policy on the same trace and print the comparison (EXT.EQ)")
 	flag.Parse()
 
-	if *clusterMode {
+	if *clusterMode || *clusterCompare {
 		runCluster(clusterFlags{
 			machines: *clusterMachines, jobs: *clusterJobs, mean: *clusterMean,
 			seed: *clusterSeed, slack: *clusterSlack,
 			scheme: *clusterScheme, placement: *clusterPlacement,
 			emitFormat: *emitFormat, rowsPath: *rowsPath,
+			compare: *clusterCompare,
 		})
 		return
 	}
@@ -278,6 +280,7 @@ type clusterFlags struct {
 	seed                 uint64
 	scheme, placement    string
 	emitFormat, rowsPath string
+	compare              bool
 }
 
 // runCluster executes the open-system fleet scenario (EXT.CLUSTER).
@@ -301,8 +304,10 @@ func runCluster(f clusterFlags) {
 		opt.Placement = cluster.PlaceScored
 	case "firstfit", "first-fit":
 		opt.Placement = cluster.PlaceFirstFit
+	case "equilibrium":
+		opt.Placement = cluster.PlaceEquilibrium
 	default:
-		log.Fatalf("unknown -cluster-placement %q (want scored or firstfit)", f.placement)
+		log.Fatalf("unknown -cluster-placement %q (want scored, firstfit or equilibrium)", f.placement)
 	}
 	if f.emitFormat != "" {
 		w := os.Stderr
@@ -333,6 +338,20 @@ func runCluster(f clusterFlags) {
 		log.Fatal(err)
 	}
 	log.Printf("database ready in %v", time.Since(start).Round(time.Millisecond))
+	if f.compare {
+		t0 := time.Now()
+		rows, err := experiments.RunClusterComparison(env.DB4, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("EXT.EQ — Placement comparison: %d machines, %d jobs (mean interarrival %.2gs, seed %d)",
+			opt.Machines, opt.Jobs, opt.MeanInterarrivalSec, opt.Seed)
+		if _, err := experiments.ClusterCompareTable(rows, title).WriteTo(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("placement comparison done in %v", time.Since(t0).Round(time.Millisecond))
+		return
+	}
 	t0 := time.Now()
 	res, err := experiments.RunCluster(env.DB4, opt)
 	if err != nil {

@@ -6,6 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"qosrma/internal/core"
+	"qosrma/internal/experiments"
 )
 
 // -update refreshes the committed golden tables from the current
@@ -100,6 +103,71 @@ func TestGoldenTables(t *testing.T) {
 					name, buf.Len(), len(want), firstDiff(buf.Bytes(), want))
 			}
 		})
+	}
+}
+
+// TestGoldenClusterComparison regenerates the committed small-fleet
+// placement comparison (EXT.EQ: first-fit vs greedy scored vs certified
+// pure Nash equilibrium on the same arrival trace) and diffs it byte for
+// byte against testdata/golden/cluster_compare.csv. Beyond byte identity,
+// it pins the headline claim of the equilibrium policy: on this scenario
+// equilibrium placement beats or ties greedy scored placement on fleet
+// energy savings. Refresh with -update (see TestGoldenTables).
+func TestGoldenClusterComparison(t *testing.T) {
+	s := testSystem(t)
+	opt := experiments.ClusterOptions{
+		Machines:            3,
+		Jobs:                12,
+		MeanInterarrivalSec: 0.4,
+		Seed:                1,
+		Slack:               0.2,
+		Scheme:              core.SchemeCoordDVFSCache,
+	}
+	rows, err := experiments.RunClusterComparison(s.db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scored, equilibrium *experiments.ClusterCompareRow
+	for i := range rows {
+		switch rows[i].Policy {
+		case "scored":
+			scored = &rows[i]
+		case "equilibrium":
+			equilibrium = &rows[i]
+		}
+	}
+	if scored == nil || equilibrium == nil {
+		t.Fatalf("comparison missing policies: %+v", rows)
+	}
+	if equilibrium.EnergySavings < scored.EnergySavings {
+		t.Fatalf("equilibrium placement saves %.6f, below greedy scored %.6f",
+			equilibrium.EnergySavings, scored.EnergySavings)
+	}
+	var buf bytes.Buffer
+	if err := experiments.WriteClusterCompareCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "cluster_compare.csv")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("cluster_compare.csv drifted from the committed table.\n"+
+			"If the change is intentional, refresh with:\n"+
+			"  go test -run TestGoldenClusterComparison -update .\n"+
+			"got %d bytes, want %d; first divergence at byte %d",
+			buf.Len(), len(want), firstDiff(buf.Bytes(), want))
 	}
 }
 

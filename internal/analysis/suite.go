@@ -12,12 +12,13 @@ var Suite = []*Analyzer{Determinism, Noalloc, Shardowned, Ctxdeadline, Exhaustiv
 // (paper tables, replay hashes, cross-codec equivalence); the
 // determinism check applies only to them.
 var deterministicPkgs = map[string]bool{
-	"rmasim":  true,
-	"cluster": true,
-	"sweep":   true,
-	"simdb":   true,
-	"wire":    true,
-	"sched":   true,
+	"rmasim":      true,
+	"cluster":     true,
+	"sweep":       true,
+	"simdb":       true,
+	"wire":        true,
+	"sched":       true,
+	"equilibrium": true,
 }
 
 // inScope applies each check's package scope. Scope lives here, in the

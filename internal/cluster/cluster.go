@@ -28,10 +28,12 @@ import (
 	"sync"
 
 	"qosrma/internal/core"
+	"qosrma/internal/equilibrium"
 	"qosrma/internal/power"
 	"qosrma/internal/rmasim"
 	"qosrma/internal/sched"
 	"qosrma/internal/simdb"
+	"qosrma/internal/stats"
 	"qosrma/internal/workload"
 )
 
@@ -46,6 +48,17 @@ const (
 	// PlaceFirstFit places each arrival on the lowest-numbered machine
 	// with a free core — the guidance-free reference policy.
 	PlaceFirstFit
+	// PlaceEquilibrium places each arrival where it sits in a certified
+	// pure Nash equilibrium of the collocation game: on every arrival the
+	// engine solves for the equilibrium assignment of all present tenants
+	// plus the arrival (best-response dynamics on the scorer oracle,
+	// warm-started from the fleet's current layout), then admits the
+	// arrival to its equilibrium machine. Running tenants never migrate —
+	// the equilibrium is the placement's lookahead, not a physical
+	// reshuffle — and when the equilibrium machine has no physically free
+	// core (a tenant moved off it only virtually) the policy falls back
+	// to scored placement for that arrival.
+	PlaceEquilibrium
 )
 
 // String names the policy.
@@ -55,6 +68,8 @@ func (p Placement) String() string {
 		return "scored"
 	case PlaceFirstFit:
 		return "first-fit"
+	case PlaceEquilibrium:
+		return "equilibrium"
 	default:
 		return fmt.Sprintf("Placement(%d)", int(p))
 	}
@@ -225,6 +240,15 @@ type engine struct {
 	placed   []bool
 	done     []bool
 	queue    []int // indices into jobs, FIFO
+
+	// Placement scratch, held on the engine so the per-arrival scoring
+	// loop is allocation-free on warm scorer caches: the candidate tenant
+	// list and the scorer's curve/DP buffers (sched.ScoreBuf).
+	tenantBuf []string
+	scoreBuf  sched.ScoreBuf
+	// Equilibrium-placement scratch (player list and warm-start profile).
+	eqPlayers []string
+	eqInitial []int
 }
 
 // Run executes the scenario against the database and returns the fleet
@@ -370,27 +394,32 @@ func (e *engine) run() error {
 // place assigns an arriving job to a machine (or queues it when the fleet
 // is full). With scored placement, every machine with a free core is
 // scored with the arrival added to its tenants and the best predicted
-// collocation wins; ties keep the lowest machine index.
+// collocation wins; ties keep the lowest machine index. Equilibrium
+// placement solves the collocation game first and falls back to the
+// scored choice when no certified equilibrium (or no physically free
+// equilibrium slot) exists.
 func (e *engine) place(ji int) error {
 	job := e.jobs[ji]
-	best, bestScore := -1, math.Inf(-1)
-	var buf []string
-	for _, m := range e.machines {
-		if m.free == 0 {
-			continue
+	best := -1
+	if e.spec.Placement == PlaceFirstFit {
+		for _, m := range e.machines {
+			if m.free > 0 {
+				best = m.id
+				break
+			}
 		}
-		if e.spec.Placement == PlaceFirstFit {
-			best = m.id
-			break
+	} else {
+		var err error
+		if e.spec.Placement == PlaceEquilibrium {
+			best, err = e.pickEquilibrium(job.Bench)
 		}
-		buf = m.tenants(buf[:0])
-		buf = append(buf, job.Bench)
-		s, err := e.scorer.Score(buf)
 		if err != nil {
 			return err
 		}
-		if s > bestScore {
-			best, bestScore = m.id, s
+		if best < 0 {
+			if best, err = e.pickScored(job.Bench); err != nil {
+				return err
+			}
 		}
 	}
 	if best < 0 {
@@ -398,6 +427,79 @@ func (e *engine) place(ji int) error {
 		return nil
 	}
 	return e.admit(ji, e.machines[best], job.TimeSec)
+}
+
+// pickScored returns the free machine where the scorer predicts the
+// best collocation for the arriving benchmark (-1 when the fleet is
+// full). It runs on the engine-held scratch (tenantBuf/scoreBuf), so on
+// warm scorer caches the whole loop performs zero heap allocations —
+// pinned by TestPlacementLoopAllocationFree.
+func (e *engine) pickScored(bench string) (int, error) {
+	best, bestScore := -1, math.Inf(-1)
+	for _, m := range e.machines {
+		if m.free == 0 {
+			continue
+		}
+		e.tenantBuf = m.tenants(e.tenantBuf[:0])
+		e.tenantBuf = append(e.tenantBuf, bench)
+		s, err := e.scorer.ScoreInto(e.tenantBuf, &e.scoreBuf)
+		if err != nil {
+			return -1, err
+		}
+		if s > bestScore {
+			best, bestScore = m.id, s
+		}
+	}
+	return best, nil
+}
+
+// pickEquilibrium solves the placement game for the current tenants plus
+// the arriving benchmark and returns the arrival's machine in the best
+// certified pure Nash equilibrium. The solve is seeded from the arrival's
+// position in the job order, so runs are bit-deterministic regardless of
+// Workers. It returns -1 (caller falls back to scored placement) when the
+// fleet is full, no start certifies an equilibrium, or the equilibrium
+// machine has no physically free core.
+func (e *engine) pickEquilibrium(bench string) (int, error) {
+	free := 0
+	e.eqPlayers = e.eqPlayers[:0]
+	e.eqInitial = e.eqInitial[:0]
+	for _, m := range e.machines {
+		free += m.free
+		for _, app := range m.apps {
+			if app != "" {
+				e.eqPlayers = append(e.eqPlayers, app)
+				e.eqInitial = append(e.eqInitial, m.id)
+			}
+		}
+	}
+	if free == 0 {
+		return -1, nil
+	}
+	// Warm-start the arrival on the lowest-indexed free machine.
+	arrival := len(e.eqPlayers)
+	e.eqPlayers = append(e.eqPlayers, bench)
+	for _, m := range e.machines {
+		if m.free > 0 {
+			e.eqInitial = append(e.eqInitial, m.id)
+			break
+		}
+	}
+	eq, err := equilibrium.Solve(e.scorer, e.eqPlayers, equilibrium.Config{
+		Machines: len(e.machines),
+		Capacity: e.db.Sys.NumCores,
+		Seed:     stats.SeedFrom(uint64(arrival), "cluster/equilibrium-place"),
+		Initial:  e.eqInitial,
+	})
+	if err != nil {
+		// An unsolvable game (every start cycled) is not a scenario
+		// error: degrade to scored placement deterministically.
+		return -1, nil
+	}
+	if m := e.machines[eq.Assignment[arrival]]; m.free > 0 {
+		return m.id, nil
+	}
+	return -1, nil
 }
 
 // admit places job ji on the machine's lowest free core at time t.

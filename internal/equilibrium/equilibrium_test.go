@@ -1,0 +1,281 @@
+package equilibrium
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"qosrma/internal/arch"
+	"qosrma/internal/sched"
+	"qosrma/internal/simdb"
+	"qosrma/internal/trace"
+)
+
+var (
+	dbOnce sync.Once
+	dbInst *simdb.DB
+	dbErr  error
+)
+
+// testDB builds a small 2-core database over a subset of the suite — the
+// same shape the cluster engine's tests use, so placement games stay fast
+// while still heterogeneous.
+func testDB(t *testing.T) *simdb.DB {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping multi-second database build in -short mode")
+	}
+	dbOnce.Do(func() {
+		sys := arch.DefaultSystemConfig(2)
+		dbInst, dbErr = simdb.Build(sys, trace.Suite()[:6], simdb.DefaultBuildOptions())
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	return dbInst
+}
+
+// feasibleProfiles enumerates every capacity-respecting assignment of n
+// players onto machines of the given capacity.
+func feasibleProfiles(n, machines, capacity int) [][]int {
+	var out [][]int
+	assign := make([]int, n)
+	occ := make([]int, machines)
+	var rec func(p int)
+	rec = func(p int) {
+		if p == n {
+			out = append(out, append([]int(nil), assign...))
+			return
+		}
+		for m := 0; m < machines; m++ {
+			if occ[m] == capacity {
+				continue
+			}
+			assign[p] = m
+			occ[m]++
+			rec(p + 1)
+			occ[m]--
+		}
+	}
+	rec(0)
+	return out
+}
+
+// isNashManual checks the no-deviation property from first principles —
+// straight Scorer calls, no package machinery — so the certificate tests
+// do not assume Verify itself is correct.
+func isNashManual(t *testing.T, sc *sched.Scorer, players []string, assign []int, machines, capacity int, tol float64) bool {
+	t.Helper()
+	occ := make([]int, machines)
+	for _, m := range assign {
+		occ[m]++
+	}
+	tenants := func(m, mover, to int) []string {
+		var apps []string
+		for p, pm := range assign {
+			if p == mover {
+				pm = to
+			}
+			if pm == m {
+				apps = append(apps, players[p])
+			}
+		}
+		return apps
+	}
+	score := func(apps []string) float64 {
+		s, err := sc.Score(apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	for p := range players {
+		cur := score(tenants(assign[p], -1, 0))
+		for m := 0; m < machines; m++ {
+			if m == assign[p] || occ[m] >= capacity {
+				continue
+			}
+			if score(tenants(m, p, m)) > cur+tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSolveCertificate: Solve's result must be certified, and the
+// no-deviation property must hold under an exhaustive manual check that
+// shares no code with Verify.
+func TestSolveCertificate(t *testing.T) {
+	db := testDB(t)
+	sc := sched.NewScorer(db)
+	players := db.BenchNames()[:5]
+	cfg := Config{Machines: 3, Capacity: 2, Seed: 11}
+	eq, err := Solve(sc, players, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Certified {
+		t.Fatal("Solve returned an uncertified equilibrium")
+	}
+	if !isNashManual(t, sc, players, eq.Assignment, cfg.Machines, cfg.Capacity, 1e-12) {
+		t.Fatal("certified equilibrium admits a profitable deviation")
+	}
+	// Structural checks: every player placed once, payoffs match machines.
+	occ := make([]int, cfg.Machines)
+	for p, m := range eq.Assignment {
+		if m < 0 || m >= cfg.Machines {
+			t.Fatalf("player %d on machine %d", p, m)
+		}
+		occ[m]++
+		s, err := sc.Score(eq.Machines[m])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq.Payoffs[p] != s {
+			t.Fatalf("player %d payoff %v, machine score %v", p, eq.Payoffs[p], s)
+		}
+	}
+	for m, n := range occ {
+		if n > cfg.Capacity {
+			t.Fatalf("machine %d overfilled with %d tenants", m, n)
+		}
+		if n != len(eq.Machines[m]) {
+			t.Fatalf("machine %d tenant list has %d entries for %d tenants", m, len(eq.Machines[m]), n)
+		}
+	}
+	if eq.Starts != 4 || eq.Start < 0 || eq.Start >= eq.Starts {
+		t.Fatalf("start bookkeeping broken: start %d of %d", eq.Start, eq.Starts)
+	}
+}
+
+// TestVerifyMatchesExhaustiveCheck sweeps every feasible profile of a
+// small game: Verify must agree with the manual first-principles check on
+// each one, and the game must contain both equilibria and non-equilibria
+// (so the certificate genuinely discriminates).
+func TestVerifyMatchesExhaustiveCheck(t *testing.T) {
+	db := testDB(t)
+	sc := sched.NewScorer(db)
+	players := db.BenchNames()[:4]
+	cfg := Config{Machines: 3, Capacity: 2, Seed: 1}
+	nash, other := 0, 0
+	for _, assign := range feasibleProfiles(len(players), cfg.Machines, cfg.Capacity) {
+		want := isNashManual(t, sc, players, assign, cfg.Machines, cfg.Capacity, 1e-12)
+		got, err := Verify(sc, players, assign, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Verify(%v) = %v, manual check %v", assign, got, want)
+		}
+		if want {
+			nash++
+		} else {
+			other++
+		}
+	}
+	if nash == 0 {
+		t.Fatal("game has no pure Nash equilibrium profile")
+	}
+	if other == 0 {
+		t.Fatal("every profile is an equilibrium: the certificate discriminates nothing")
+	}
+}
+
+// TestSolveDeterministic: fixed (players, Config) must reproduce the
+// identical equilibrium bit for bit across worker counts and repeated
+// runs, and different seeds must run without error.
+func TestSolveDeterministic(t *testing.T) {
+	db := testDB(t)
+	sc := sched.NewScorer(db)
+	players := db.BenchNames()
+	base := Config{Machines: 4, Capacity: 2, Restarts: 6, Seed: 5}
+	var want *Equilibrium
+	for _, workers := range []int{1, 2, 8} {
+		for rep := 0; rep < 2; rep++ {
+			cfg := base
+			cfg.Workers = workers
+			eq, err := Solve(sc, players, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = eq
+				continue
+			}
+			if !reflect.DeepEqual(eq, want) {
+				t.Fatalf("equilibrium depends on Workers=%d rep=%d:\n got %+v\nwant %+v",
+					workers, rep, eq, want)
+			}
+		}
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := base
+		cfg.Seed = seed
+		if _, err := Solve(sc, players, cfg); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestSolveWarmStart: a warm start that is already an equilibrium must be
+// returned unchanged by start 0 (the dynamics find no move), and an
+// infeasible warm start must be rejected.
+func TestSolveWarmStart(t *testing.T) {
+	db := testDB(t)
+	sc := sched.NewScorer(db)
+	players := db.BenchNames()[:5]
+	cfg := Config{Machines: 3, Capacity: 2, Seed: 11}
+	eq, err := Solve(sc, players, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cfg
+	warm.Initial = eq.Assignment
+	warm.Restarts = 1
+	again, err := Solve(sc, players, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Assignment, eq.Assignment) {
+		t.Fatalf("warm start moved an equilibrium: %v -> %v", eq.Assignment, again.Assignment)
+	}
+	if again.Rounds != 1 {
+		t.Fatalf("equilibrium warm start took %d rounds, want 1", again.Rounds)
+	}
+
+	bad := cfg
+	bad.Initial = []int{0, 0, 0, 1, 1} // machine 0 over capacity
+	if _, err := Solve(sc, players, bad); err == nil {
+		t.Fatal("overfull warm start accepted")
+	}
+	short := cfg
+	short.Initial = []int{0, 1}
+	if _, err := Solve(sc, players, short); err == nil {
+		t.Fatal("short warm start accepted")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	db := testDB(t)
+	sc := sched.NewScorer(db)
+	players := db.BenchNames()[:3]
+	cases := []Config{
+		{Machines: 0, Capacity: 2},                          // no machines
+		{Machines: 2, Capacity: 0},                          // no capacity
+		{Machines: 2, Capacity: 99},                         // beyond the scorer's width
+		{Machines: 1, Capacity: 1},                          // players exceed fleet capacity
+		{Machines: 2, Capacity: 2, Initial: []int{0, 5, 0}}, // machine out of range
+	}
+	for i, cfg := range cases {
+		if _, err := Solve(sc, players, cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Solve(sc, nil, Config{Machines: 2, Capacity: 2}); err == nil {
+		t.Fatal("empty player list accepted")
+	}
+	if _, err := Verify(sc, players, []int{0}, Config{Machines: 2, Capacity: 2}); err == nil {
+		t.Fatal("short assignment accepted by Verify")
+	}
+}

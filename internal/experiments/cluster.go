@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"qosrma/internal/cluster"
 	"qosrma/internal/core"
 	"qosrma/internal/simdb"
+	"qosrma/internal/stats"
 	"qosrma/internal/workload"
 )
 
@@ -59,6 +61,94 @@ func RunCluster(db *simdb.DB, opt ClusterOptions) (*cluster.Result, error) {
 		Placement: opt.Placement,
 		Emitter:   opt.Emitter,
 	})
+}
+
+// ClusterCompareRow is one placement policy's outcome on the shared
+// arrival trace of the EXT.EQ comparison.
+type ClusterCompareRow struct {
+	Policy        string
+	EnergySavings float64 // fleet aggregate: 1 - sum(E)/sum(baseline E)
+	Violations    int     // jobs missing their slack-adjusted QoS
+	MeanWaitSec   float64
+	MakespanSec   float64
+	// Fairness axis: the spread of per-job savings (1 - E/baselineE).
+	MinJobSavings float64
+	MaxJobSavings float64
+	SpreadSavings float64 // max - min
+	StdevSavings  float64
+}
+
+// RunClusterComparison (EXT.EQ) runs the identical open-system scenario
+// under first-fit, greedy scored and equilibrium placement, and reports
+// the three policies side by side on the energy, QoS-violation and
+// fairness axes — the equilibrium-versus-greedy comparison the ROADMAP's
+// integer-programming-games item asks for.
+func RunClusterComparison(db *simdb.DB, opt ClusterOptions) ([]ClusterCompareRow, error) {
+	policies := []cluster.Placement{cluster.PlaceFirstFit, cluster.PlaceScored, cluster.PlaceEquilibrium}
+	rows := make([]ClusterCompareRow, 0, len(policies))
+	for _, p := range policies {
+		o := opt
+		o.Placement = p
+		o.Emitter = nil
+		res, err := RunCluster(db, o)
+		if err != nil {
+			return nil, fmt.Errorf("placement %s: %w", p, err)
+		}
+		row := ClusterCompareRow{
+			Policy:        p.String(),
+			EnergySavings: res.EnergySavings,
+			Violations:    res.Violations,
+			MeanWaitSec:   res.MeanWaitSec,
+			MakespanSec:   res.MakespanSec,
+		}
+		perJob := make([]float64, len(res.Jobs))
+		for i, j := range res.Jobs {
+			if j.App.BaselineEnergy > 0 {
+				perJob[i] = 1 - j.App.Energy/j.App.BaselineEnergy
+			}
+		}
+		row.MinJobSavings = stats.Min(perJob)
+		row.MaxJobSavings = stats.Max(perJob)
+		row.SpreadSavings = row.MaxJobSavings - row.MinJobSavings
+		row.StdevSavings = stats.StdDev(perJob)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ClusterCompareTable renders the placement-policy comparison.
+func ClusterCompareTable(rows []ClusterCompareRow, title string) *Table {
+	t := &Table{
+		Title: title,
+		Headers: []string{"Placement", "Fleet savings", "QoS violations",
+			"Mean wait (s)", "Per-job savings min..max", "Spread", "Stdev"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Policy, pct(r.EnergySavings), r.Violations,
+			fmt.Sprintf("%.3f", r.MeanWaitSec),
+			fmt.Sprintf("%s..%s", pct(r.MinJobSavings), pct(r.MaxJobSavings)),
+			pct(r.SpreadSavings), pct(r.StdevSavings))
+	}
+	t.AddNote("Same arrival trace under every policy; spread/stdev are the fairness axis " +
+		"(how unevenly the manager's savings land across jobs).")
+	return t
+}
+
+// WriteClusterCompareCSV renders the comparison rows as CSV with stable
+// formatting — the byte-diffed golden form (testdata/golden).
+func WriteClusterCompareCSV(w io.Writer, rows []ClusterCompareRow) error {
+	if _, err := fmt.Fprintln(w,
+		"placement,fleet_savings,violations,mean_wait_sec,makespan_sec,min_job_savings,max_job_savings,spread,stdev"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%.6f,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			r.Policy, r.EnergySavings, r.Violations, r.MeanWaitSec, r.MakespanSec,
+			r.MinJobSavings, r.MaxJobSavings, r.SpreadSavings, r.StdevSavings); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ClusterTable renders the fleet summary: one row per machine plus the

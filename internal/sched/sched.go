@@ -14,7 +14,6 @@ package sched
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 
@@ -77,13 +76,32 @@ func aggregateStats(db *simdb.DB, bench string, coreID int) (*core.IntervalStats
 // so repeated Score calls — one per candidate machine per arrival in the
 // cluster engine — reduce to one AllocateWays reduction over cached
 // curves. A Scorer is safe for concurrent use; cached curves are shared
-// read-only.
+// read-only. Cold-cache builds run outside the scorer's lock behind
+// per-key single-flight entries, so concurrent Score calls build
+// *distinct* statistics and curves in parallel (the contention profile of
+// parallel best-response rounds) while each key is still built exactly
+// once — memoized results are bit-identical to a serialized build.
 type Scorer struct {
 	db     *simdb.DB
-	mu     sync.Mutex
-	agg    map[string]*core.IntervalStats
-	curves map[curveKey]*core.Curve
+	mu     sync.Mutex // guards the maps and idle, never held across a build
+	agg    map[string]*aggEntry
+	curves map[curveKey]*curveEntry
 	idle   *core.Curve
+}
+
+// aggEntry is the single-flight slot for one benchmark's whole-program
+// statistics: the winning goroutine aggregates under the entry's once
+// while other keys build concurrently.
+type aggEntry struct {
+	once sync.Once
+	st   *core.IntervalStats
+	err  error
+}
+
+// curveEntry is the single-flight slot for one memoized energy curve.
+type curveEntry struct {
+	once sync.Once
+	cv   *core.Curve
 }
 
 // curveKey identifies one memoized energy curve.
@@ -96,32 +114,49 @@ type curveKey struct {
 func NewScorer(db *simdb.DB) *Scorer {
 	return &Scorer{
 		db:     db,
-		agg:    make(map[string]*core.IntervalStats),
-		curves: make(map[curveKey]*core.Curve),
+		agg:    make(map[string]*aggEntry),
+		curves: make(map[curveKey]*curveEntry),
 	}
 }
 
-// curve returns the memoized energy curve and whole-program statistics of
-// one benchmark under the given way cap.
-func (sc *Scorer) curve(bench string, maxWays int, pred core.Predictor) (*core.Curve, *core.IntervalStats, error) {
+// Cores returns the database's machine width — the tenant capacity a
+// single Score call accepts.
+func (sc *Scorer) Cores() int { return sc.db.Sys.NumCores }
+
+// stats returns the memoized whole-program statistics of one benchmark,
+// aggregating outside the lock behind the entry's single-flight once.
+func (sc *Scorer) stats(bench string) (*core.IntervalStats, error) {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	st, ok := sc.agg[bench]
+	e, ok := sc.agg[bench]
 	if !ok {
-		var err error
-		st, err = aggregateStats(sc.db, bench, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		sc.agg[bench] = st
+		e = &aggEntry{}
+		sc.agg[bench] = e
+	}
+	sc.mu.Unlock()
+	e.once.Do(func() { e.st, e.err = aggregateStats(sc.db, bench, 0) })
+	return e.st, e.err
+}
+
+// curve returns the memoized energy curve and whole-program statistics of
+// one benchmark under the given way cap. The curve build — the expensive
+// (size × ways × frequency) search — runs outside sc.mu: the lock only
+// publishes the entry, and the entry's once serializes builders of the
+// *same* key while different keys proceed in parallel.
+func (sc *Scorer) curve(bench string, maxWays int, pred core.Predictor) (*core.Curve, *core.IntervalStats, error) {
+	st, err := sc.stats(bench)
+	if err != nil {
+		return nil, nil, err
 	}
 	key := curveKey{bench: bench, maxWays: maxWays}
-	cv, ok := sc.curves[key]
+	sc.mu.Lock()
+	e, ok := sc.curves[key]
 	if !ok {
-		cv = pred.BuildCurve(st, core.LocalOptions{MaxWays: maxWays})
-		sc.curves[key] = cv
+		e = &curveEntry{}
+		sc.curves[key] = e
 	}
-	return cv, st, nil
+	sc.mu.Unlock()
+	e.once.Do(func() { e.cv = pred.BuildCurve(st, core.LocalOptions{MaxWays: maxWays}) })
+	return e.cv, st, nil
 }
 
 // idleCurve returns the scorer's shared zero-cost stand-in curve.
@@ -135,11 +170,14 @@ func (sc *Scorer) idleCurve() *core.Curve {
 }
 
 // ScoreBuf is a reusable scratch buffer for ScoreInto: the per-call curve
-// slice of Score, owned by the caller so a serving shard scoring thousands
-// of candidate machines allocates it once. The zero value is ready to use;
-// a ScoreBuf must not be shared between concurrent ScoreInto calls.
+// slice of Score plus the way-allocation DP scratch, owned by the caller
+// so a serving shard (or placement loop) scoring thousands of candidate
+// machines allocates once and is then allocation-free on warm caches. The
+// zero value is ready to use; a ScoreBuf must not be shared between
+// concurrent ScoreInto calls.
 type ScoreBuf struct {
 	curves []*core.Curve
+	ways   core.WaysScratch
 }
 
 // Score predicts the energy savings the coordinated manager reaches on one
@@ -185,7 +223,7 @@ func (sc *Scorer) ScoreInto(apps []string, buf *ScoreBuf) (float64, error) {
 			curves[i] = sc.idleCurve()
 		}
 	}
-	alloc, ok := core.AllocateWays(curves, sc.db.Sys.LLC.Assoc)
+	alloc, ok := core.AllocateWaysInto(curves, sc.db.Sys.LLC.Assoc, &buf.ways)
 	if !ok {
 		return 0, nil
 	}
@@ -233,61 +271,93 @@ func Collocate(db *simdb.DB, apps []string, machines int) (*Assignment, error) {
 		return &Assignment{Machines: [][]string{apps}, Predicted: p}, nil
 	}
 
-	// Start from the given order, then swap-descend: try exchanging every
-	// cross-machine pair and keep improvements until a fixed point. With
-	// two machines this converges to the exhaustive optimum on all inputs
-	// we generate; one shared Scorer makes each step a cached-curve
-	// reduction rather than a from-scratch prediction.
+	// Start from the given order, then swap-descend on the positive
+	// objective: try exchanging every cross-machine pair and keep
+	// improvements until a fixed point. With two machines this converges
+	// to the exhaustive optimum on all inputs we generate; one shared
+	// Scorer makes each step a cached-curve reduction rather than a
+	// from-scratch prediction.
 	assign := make([][]string, machines)
 	for m := range assign {
 		assign[m] = append([]string(nil), apps[m*per:(m+1)*per]...)
 	}
 	sc := NewScorer(db)
-	score := func() (float64, error) {
-		var total float64
-		for _, machine := range assign {
-			s, err := sc.Score(machine)
-			if err != nil {
-				return 0, err
-			}
-			total += s
-		}
-		return total / float64(machines), nil
-	}
-	best, err := score()
+	best, err := swapDescend(sc, assign, false)
 	if err != nil {
 		return nil, err
 	}
+	return &Assignment{Machines: assign, Predicted: best}, nil
+}
+
+// swapDescend runs the exhaustive cross-machine swap descent over assign
+// in place, maximizing the mean per-machine score (or minimizing it when
+// negate is set), and returns the converged mean. Each candidate swap
+// rescores only the two touched machines; the mean is re-summed over the
+// per-machine score table in machine order, so every accepted/rejected
+// decision — and the converged result — is bit-identical to the full
+// fleet rescore it replaces, at two Score calls per swap instead of one
+// per machine.
+func swapDescend(sc *Scorer, assign [][]string, negate bool) (float64, error) {
+	machines := len(assign)
+	var buf ScoreBuf
+	scores := make([]float64, machines)
+	for m, machine := range assign {
+		s, err := sc.ScoreInto(machine, &buf)
+		if err != nil {
+			return 0, err
+		}
+		scores[m] = s
+	}
+	mean := func() float64 {
+		var total float64
+		for _, s := range scores {
+			total += s
+		}
+		return total / float64(machines)
+	}
+	sign := 1.0
+	if negate {
+		sign = -1
+	}
+	best := mean()
 	for improved := true; improved; {
 		improved = false
 		for a := 0; a < machines; a++ {
 			for b := a + 1; b < machines; b++ {
-				for i := 0; i < per; i++ {
-					for j := 0; j < per; j++ {
+				for i := range assign[a] {
+					for j := range assign[b] {
 						assign[a][i], assign[b][j] = assign[b][j], assign[a][i]
-						cand, err := score()
+						oldA, oldB := scores[a], scores[b]
+						sA, err := sc.ScoreInto(assign[a], &buf)
 						if err != nil {
-							return nil, err
+							return 0, err
 						}
-						if cand > best+1e-12 {
+						sB, err := sc.ScoreInto(assign[b], &buf)
+						if err != nil {
+							return 0, err
+						}
+						scores[a], scores[b] = sA, sB
+						if cand := mean(); sign*cand > sign*best+1e-12 {
 							best = cand
 							improved = true
 						} else {
 							assign[a][i], assign[b][j] = assign[b][j], assign[a][i]
+							scores[a], scores[b] = oldA, oldB
 						}
 					}
 				}
 			}
 		}
 	}
-	return &Assignment{Machines: assign, Predicted: best}, nil
+	return best, nil
 }
 
 // WorstCollocation returns the assignment minimizing the predicted savings
-// (by maximizing the negated score) — the adversarial reference the
-// experiment compares against. Implemented by descending on the negated
-// objective from a sorted grouping (similar apps together), which is the
-// pathological case for the coordinated manager.
+// — the adversarial reference the experiment compares against. It starts
+// from a sorted grouping (similar apps together, the pathological case for
+// the coordinated manager) and then genuinely descends on the negated
+// objective with the same swap machinery Collocate uses, so the returned
+// assignment is a local minimum, not just the sorted heuristic.
 func WorstCollocation(db *simdb.DB, apps []string, machines int) (*Assignment, error) {
 	per := db.Sys.NumCores
 	if len(apps) != machines*per {
@@ -316,17 +386,9 @@ func WorstCollocation(db *simdb.DB, apps []string, machines int) (*Assignment, e
 		assign[m] = append(assign[m], x.app)
 	}
 	sc := NewScorer(db)
-	total := 0.0
-	worst := math.Inf(1)
-	for _, machine := range assign {
-		s, err := sc.Score(machine)
-		if err != nil {
-			return nil, err
-		}
-		total += s
-		if s < worst {
-			worst = s
-		}
+	worst, err := swapDescend(sc, assign, true)
+	if err != nil {
+		return nil, err
 	}
-	return &Assignment{Machines: assign, Predicted: total / float64(machines)}, nil
+	return &Assignment{Machines: assign, Predicted: worst}, nil
 }

@@ -139,6 +139,221 @@ func TestWorstCollocationClustersSimilarApps(t *testing.T) {
 	}
 }
 
+// fullRescoreDescend is the reference swap descent the optimized
+// swapDescend replaced: every candidate swap rescores the whole fleet.
+// The test keeps it alive to pin the optimization's bit-identity.
+func fullRescoreDescend(sc *Scorer, assign [][]string, negate bool) (float64, error) {
+	machines := len(assign)
+	mean := func() (float64, error) {
+		var total float64
+		for _, m := range assign {
+			s, err := sc.Score(m)
+			if err != nil {
+				return 0, err
+			}
+			total += s
+		}
+		return total / float64(machines), nil
+	}
+	sign := 1.0
+	if negate {
+		sign = -1
+	}
+	best, err := mean()
+	if err != nil {
+		return 0, err
+	}
+	for improved := true; improved; {
+		improved = false
+		for a := 0; a < machines; a++ {
+			for b := a + 1; b < machines; b++ {
+				for i := range assign[a] {
+					for j := range assign[b] {
+						assign[a][i], assign[b][j] = assign[b][j], assign[a][i]
+						cand, err := mean()
+						if err != nil {
+							return 0, err
+						}
+						if sign*cand > sign*best+1e-12 {
+							best = cand
+							improved = true
+						} else {
+							assign[a][i], assign[b][j] = assign[b][j], assign[a][i]
+						}
+					}
+				}
+			}
+		}
+	}
+	return best, nil
+}
+
+// TestSwapDescendMatchesFullRescore pins the incremental two-machine
+// rescore in swapDescend to the full fleet rescore it replaced: identical
+// assignments and bit-identical converged scores, on both the positive
+// (Collocate) and negated (WorstCollocation) objectives, at two and three
+// machines.
+func TestSwapDescendMatchesFullRescore(t *testing.T) {
+	db := testDB(t)
+	apps12 := db.BenchNames()[:12]
+	cases := []struct {
+		name     string
+		apps     []string
+		machines int
+		negate   bool
+	}{
+		{"best-2", eightApps, 2, false},
+		{"best-3", apps12, 3, false},
+		{"worst-2", eightApps, 2, true},
+		{"worst-3", apps12, 3, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			per := db.Sys.NumCores
+			split := func() [][]string {
+				out := make([][]string, tc.machines)
+				for m := range out {
+					out[m] = append([]string(nil), tc.apps[m*per:(m+1)*per]...)
+				}
+				return out
+			}
+			ref := split()
+			want, err := fullRescoreDescend(NewScorer(db), ref, tc.negate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := split()
+			have, err := swapDescend(NewScorer(db), got, tc.negate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if have != want {
+				t.Fatalf("incremental descent converged to %v, full rescore to %v", have, want)
+			}
+			for m := range ref {
+				for c := range ref[m] {
+					if got[m][c] != ref[m][c] {
+						t.Fatalf("machine %d differs: %v vs %v", m, got[m], ref[m])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorstCollocationIsLocalMinimum pins the WorstCollocation bugfix:
+// the adversarial assignment must actually descend (its score can only be
+// at or below the sorted-grouping start it begins from) and must never
+// beat the guided assignment.
+func TestWorstCollocationIsLocalMinimum(t *testing.T) {
+	db := testDB(t)
+	worst, err := WorstCollocation(db, eightApps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Collocate(db, eightApps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Predicted > best.Predicted {
+		t.Fatalf("adversarial %.6f above guided %.6f", worst.Predicted, best.Predicted)
+	}
+	// No single cross-machine swap may lower the adversarial score
+	// further: the returned assignment is a genuine local minimum of the
+	// negated objective, not just the sorted heuristic.
+	sc := NewScorer(db)
+	assign := [][]string{
+		append([]string(nil), worst.Machines[0]...),
+		append([]string(nil), worst.Machines[1]...),
+	}
+	mean := func() float64 {
+		var total float64
+		for _, m := range assign {
+			s, err := sc.Score(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += s
+		}
+		return total / float64(len(assign))
+	}
+	base := mean()
+	if base != worst.Predicted {
+		t.Fatalf("recomputed adversarial score %v, reported %v", base, worst.Predicted)
+	}
+	for i := range assign[0] {
+		for j := range assign[1] {
+			assign[0][i], assign[1][j] = assign[1][j], assign[0][i]
+			if cand := mean(); cand < base-1e-12 {
+				t.Fatalf("swap (%d,%d) lowers the adversarial score: %v < %v", i, j, cand, base)
+			}
+			assign[0][i], assign[1][j] = assign[1][j], assign[0][i]
+		}
+	}
+}
+
+// TestScorerConcurrentColdCache hammers a cold scorer from many
+// goroutines under -race: the single-flight entries must build each
+// statistics/curve key exactly once without holding the scorer lock
+// across builds, and every concurrent result must be bit-identical to a
+// serial cold run.
+func TestScorerConcurrentColdCache(t *testing.T) {
+	db := testDB(t)
+	names := db.BenchNames()
+	var machines [][]string
+	for i := 0; i+4 <= len(names); i += 2 {
+		machines = append(machines, names[i:i+4])
+	}
+	// Partial machines exercise distinct way caps (distinct curve keys).
+	for n := 1; n <= db.Sys.NumCores; n++ {
+		machines = append(machines, names[:n])
+	}
+	ref := NewScorer(db)
+	want := make([]float64, len(machines))
+	for i, m := range machines {
+		s, err := ref.Score(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = s
+	}
+
+	sc := NewScorer(db) // cold again: the hammer builds everything in parallel
+	const workers = 8
+	got := make([][]float64, workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf ScoreBuf
+			out := make([]float64, len(machines))
+			for k := range machines {
+				i := (k + w) % len(machines) // staggered orders collide on cold keys
+				s, err := sc.ScoreInto(machines[i], &buf)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = s
+			}
+			got[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatal(errs[w])
+		}
+		for i := range machines {
+			if got[w][i] != want[i] {
+				t.Fatalf("worker %d machine %d: concurrent %v, serial %v", w, i, got[w][i], want[i])
+			}
+		}
+	}
+}
+
 func TestScorerMatchesPredictSavings(t *testing.T) {
 	db := testDB(t)
 	sc := NewScorer(db)
